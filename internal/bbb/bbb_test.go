@@ -1,0 +1,174 @@
+package bbb
+
+import (
+	"testing"
+
+	"repro/internal/adhoc"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/strategy"
+	"repro/internal/toca"
+	"repro/internal/xrand"
+)
+
+func mustJoin(t *testing.T, s *Strategy, id graph.NodeID, x, y, rng float64) strategy.Outcome {
+	t.Helper()
+	out, err := s.Join(id, adhoc.Config{Pos: geom.Point{X: x, Y: y}, Range: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func checkValid(t *testing.T, s *Strategy) {
+	t.Helper()
+	if vs := toca.Verify(s.Network().Graph(), s.Assignment()); len(vs) > 0 {
+		t.Fatalf("assignment invalid: %v", vs)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "BBB" {
+		t.Fatal("name")
+	}
+}
+
+func TestJoinSequenceValid(t *testing.T) {
+	rng := xrand.New(111)
+	s := New()
+	for i := 0; i < 40; i++ {
+		mustJoin(t, s, graph.NodeID(i),
+			rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(20.5, 30.5))
+		checkValid(t, s)
+	}
+	// Every node must be colored.
+	for _, id := range s.Network().Nodes() {
+		if s.Assignment()[id] == toca.None {
+			t.Fatalf("node %d uncolored", id)
+		}
+	}
+}
+
+func TestAllEventKindsValid(t *testing.T) {
+	s := New()
+	mustJoin(t, s, 1, 10, 10, 25)
+	mustJoin(t, s, 2, 20, 10, 25)
+	mustJoin(t, s, 3, 15, 18, 25)
+	if _, err := s.Move(3, geom.Point{X: 60, Y: 60}); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, s)
+	if _, err := s.SetRange(1, 80); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, s)
+	if _, err := s.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, s)
+	if _, ok := s.Assignment()[2]; ok {
+		t.Fatal("departed node still assigned")
+	}
+	if _, err := s.Apply(strategy.Event{Kind: 99}); err == nil {
+		t.Fatal("unknown kind")
+	}
+	if _, err := s.Leave(42); err == nil {
+		t.Fatal("leave absent")
+	}
+}
+
+// TestGlobalRecoloringRecodesMany: BBB's defining behaviour — the whole
+// network is recolored at every event, so its cumulative recoding count
+// dwarfs Minim's on the same join workload (paper Fig 10(b)).
+func TestGlobalRecoloringRecodesMany(t *testing.T) {
+	rng := xrand.New(222)
+	type jn struct {
+		id      graph.NodeID
+		x, y, r float64
+	}
+	var joins []jn
+	for i := 0; i < 60; i++ {
+		joins = append(joins, jn{graph.NodeID(i),
+			rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(20.5, 30.5)})
+	}
+	bbbTotal, minimTotal := 0, 0
+	s := New()
+	m := core.New()
+	var bbbMax, minimMax toca.Color
+	for _, j := range joins {
+		cfg := adhoc.Config{Pos: geom.Point{X: j.x, Y: j.y}, Range: j.r}
+		out, err := s.Join(j.id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bbbTotal += out.Recodings()
+		bbbMax = out.MaxColor
+		mout, err := m.Join(j.id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minimTotal += mout.Recodings()
+		minimMax = mout.MaxColor
+	}
+	if bbbTotal <= minimTotal {
+		t.Fatalf("BBB total recodings %d <= Minim %d — global recoloring should dominate",
+			bbbTotal, minimTotal)
+	}
+	// BBB's max color should be no worse than Minim's (it is the
+	// near-optimal envelope in the paper's plots).
+	if bbbMax > minimMax {
+		t.Fatalf("BBB max color %d > Minim %d", bbbMax, minimMax)
+	}
+}
+
+// TestRecodedSetMatchesDiff: the outcome's recoded set is exactly the
+// assignment delta.
+func TestRecodedSetMatchesDiff(t *testing.T) {
+	rng := xrand.New(333)
+	s := New()
+	prev := s.Assignment().Clone()
+	for i := 0; i < 25; i++ {
+		out := mustJoin(t, s, graph.NodeID(i),
+			rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(20.5, 30.5))
+		if got, want := out.Recodings(), toca.DiffCount(prev, s.Assignment()); got != want {
+			t.Fatalf("join %d: outcome %d recodings, diff %d", i, got, want)
+		}
+		prev = s.Assignment().Clone()
+	}
+}
+
+func TestMixedEventStreamValid(t *testing.T) {
+	rng := xrand.New(444)
+	s := New()
+	run := strategy.NewRunner(s)
+	run.Validate = true
+	next := 0
+	var present []graph.NodeID
+	for step := 0; step < 200; step++ {
+		var ev strategy.Event
+		switch k := rng.Intn(10); {
+		case k < 4 || len(present) == 0:
+			ev = strategy.JoinEvent(graph.NodeID(next), adhoc.Config{
+				Pos:   geom.Point{X: rng.Uniform(0, 100), Y: rng.Uniform(0, 100)},
+				Range: rng.Uniform(20.5, 30.5),
+			})
+			present = append(present, graph.NodeID(next))
+			next++
+		case k < 6:
+			ev = strategy.MoveEvent(present[rng.Intn(len(present))],
+				geom.Point{X: rng.Uniform(0, 100), Y: rng.Uniform(0, 100)})
+		case k < 8:
+			id := present[rng.Intn(len(present))]
+			cfg, _ := s.Network().Config(id)
+			ev = strategy.PowerEvent(id, cfg.Range*rng.Uniform(0.5, 2.5))
+		default:
+			i := rng.Intn(len(present))
+			ev = strategy.LeaveEvent(present[i])
+			present = append(present[:i], present[i+1:]...)
+		}
+		if _, err := run.Apply(ev); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package coloring implements the graph-coloring heuristics the paper's
+// centralized baseline rests on: sequential greedy coloring over a given
+// vertex order, the DSATUR heuristic of Brelaz [9], and smallest-last
+// ordering. Colors are the positive integers of package toca; the input
+// is an undirected adjacency map as produced by toca.ConflictGraph.
+package coloring
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/toca"
+)
+
+// Adjacency is an undirected graph given as sorted neighbor lists.
+type Adjacency map[graph.NodeID][]graph.NodeID
+
+// nodesOf returns the vertex set ascending.
+func nodesOf(adj Adjacency) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(adj))
+	for id := range adj {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Greedy colors vertices in the given order, assigning each the lowest
+// positive color unused by its already-colored neighbors. Vertices absent
+// from order are left uncolored.
+func Greedy(adj Adjacency, order []graph.NodeID) toca.Assignment {
+	a := make(toca.Assignment, len(adj))
+	used := make(toca.ColorSet)
+	for _, u := range order {
+		for c := range used {
+			delete(used, c)
+		}
+		for _, v := range adj[u] {
+			used.Add(a[v])
+		}
+		a[u] = used.LowestFree()
+	}
+	return a
+}
+
+// IdentityOrder returns the vertices in ascending ID order.
+func IdentityOrder(adj Adjacency) []graph.NodeID { return nodesOf(adj) }
+
+// LargestFirstOrder returns vertices by decreasing degree (Welsh-Powell),
+// ties broken by ascending ID.
+func LargestFirstOrder(adj Adjacency) []graph.NodeID {
+	order := nodesOf(adj)
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := len(adj[order[i]]), len(adj[order[j]])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// SmallestLastOrder returns the smallest-last ordering: repeatedly remove
+// a minimum-degree vertex; the removal sequence reversed is the coloring
+// order. Greedy coloring over this order uses at most degeneracy+1
+// colors.
+func SmallestLastOrder(adj Adjacency) []graph.NodeID {
+	n := len(adj)
+	deg := make(map[graph.NodeID]int, n)
+	removed := make(map[graph.NodeID]bool, n)
+	for id, nbrs := range adj {
+		deg[id] = len(nbrs)
+	}
+	ids := nodesOf(adj)
+	order := make([]graph.NodeID, n)
+	for i := n - 1; i >= 0; i-- {
+		// Pick the minimum-degree unremoved vertex, lowest ID on ties.
+		var pick graph.NodeID
+		best := -1
+		for _, id := range ids {
+			if removed[id] {
+				continue
+			}
+			if best == -1 || deg[id] < best || (deg[id] == best && id < pick) {
+				best = deg[id]
+				pick = id
+			}
+		}
+		removed[pick] = true
+		order[i] = pick
+		for _, v := range adj[pick] {
+			if !removed[v] {
+				deg[v]--
+			}
+		}
+	}
+	return order
+}
+
+// DSATUR colors the graph with the Brelaz heuristic: repeatedly color the
+// uncolored vertex of maximum saturation (number of distinct neighbor
+// colors), breaking ties by higher degree then lower ID, with the lowest
+// available color.
+func DSATUR(adj Adjacency) toca.Assignment {
+	n := len(adj)
+	a := make(toca.Assignment, n)
+	satSets := make(map[graph.NodeID]toca.ColorSet, n)
+	ids := nodesOf(adj)
+	for _, id := range ids {
+		satSets[id] = make(toca.ColorSet)
+	}
+	for done := 0; done < n; done++ {
+		var pick graph.NodeID
+		bestSat, bestDeg := -1, -1
+		for _, id := range ids {
+			if a[id] != toca.None {
+				continue
+			}
+			sat, deg := len(satSets[id]), len(adj[id])
+			if sat > bestSat || (sat == bestSat && deg > bestDeg) {
+				bestSat, bestDeg, pick = sat, deg, id
+			}
+		}
+		c := satSets[pick].LowestFree()
+		a[pick] = c
+		for _, v := range adj[pick] {
+			if a[v] == toca.None {
+				satSets[v].Add(c)
+			}
+		}
+	}
+	return a
+}
+
+// Proper reports whether a is a proper coloring of adj: every colored
+// vertex differs from all of its colored neighbors, and every vertex of
+// adj is colored.
+func Proper(adj Adjacency, a toca.Assignment) bool {
+	for u, nbrs := range adj {
+		if a[u] == toca.None {
+			return false
+		}
+		for _, v := range nbrs {
+			if a[u] == a[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountColors returns the number of distinct colors used by a.
+func CountColors(a toca.Assignment) int {
+	seen := make(map[toca.Color]struct{})
+	for _, c := range a {
+		if c != toca.None {
+			seen[c] = struct{}{}
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,114 @@
+package coloring
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/toca"
+)
+
+// RLF colors the graph with the Recursive Largest First heuristic
+// (Leighton): colors are built one class at a time. Each class starts
+// from the uncolored vertex with the most uncolored neighbors, then
+// greedily absorbs the candidate with the most neighbors *outside* the
+// remaining candidate set (maximizing how much of the class's
+// "forbidden zone" is reused), until no candidate remains.
+//
+// RLF typically uses slightly fewer colors than DSATUR on dense graphs
+// at a higher constant cost; it is offered as an alternative heuristic
+// for the BBB baseline's recoloring step.
+func RLF(adj Adjacency) toca.Assignment {
+	n := len(adj)
+	a := make(toca.Assignment, n)
+	uncolored := make(map[graph.NodeID]struct{}, n)
+	for id := range adj {
+		uncolored[id] = struct{}{}
+	}
+
+	neighbors := func(id graph.NodeID, in map[graph.NodeID]struct{}) int {
+		count := 0
+		for _, v := range adj[id] {
+			if _, ok := in[v]; ok {
+				count++
+			}
+		}
+		return count
+	}
+
+	// Deterministic candidate iteration order.
+	sortedIDs := nodesOf(adj)
+
+	for c := toca.Color(1); len(uncolored) > 0; c++ {
+		// Candidates for this class: all uncolored vertices.
+		candidates := make(map[graph.NodeID]struct{}, len(uncolored))
+		for id := range uncolored {
+			candidates[id] = struct{}{}
+		}
+		// Seed: candidate with most uncolored neighbors.
+		var seed graph.NodeID
+		bestDeg := -1
+		for _, id := range sortedIDs {
+			if _, ok := candidates[id]; !ok {
+				continue
+			}
+			if d := neighbors(id, uncolored); d > bestDeg {
+				bestDeg = d
+				seed = id
+			}
+		}
+		class := []graph.NodeID{seed}
+		removeWithNeighbors(candidates, adj, seed)
+
+		// Absorb: candidate maximizing neighbors outside the candidate
+		// set (i.e., already excluded by the class), ties by fewest
+		// neighbors inside, then lowest ID.
+		for len(candidates) > 0 {
+			var pick graph.NodeID
+			bestOut, bestIn := -1, 1<<30
+			for _, id := range sortedIDs {
+				if _, ok := candidates[id]; !ok {
+					continue
+				}
+				out := len(adj[id]) - neighbors(id, candidates)
+				in := neighbors(id, candidates)
+				if out > bestOut || (out == bestOut && in < bestIn) {
+					bestOut, bestIn, pick = out, in, id
+				}
+			}
+			class = append(class, pick)
+			removeWithNeighbors(candidates, adj, pick)
+		}
+		for _, id := range class {
+			a[id] = c
+			delete(uncolored, id)
+		}
+	}
+	return a
+}
+
+// removeWithNeighbors deletes id and all its neighbors from set.
+func removeWithNeighbors(set map[graph.NodeID]struct{}, adj Adjacency, id graph.NodeID) {
+	delete(set, id)
+	for _, v := range adj[id] {
+		delete(set, v)
+	}
+}
+
+// OrderByColorClassSize returns the vertices sorted so that greedy
+// recoloring visits large color classes of a first — a utility for
+// recolor-stability experiments.
+func OrderByColorClassSize(a toca.Assignment) []graph.NodeID {
+	counts := a.ColorCounts()
+	ids := make([]graph.NodeID, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ci, cj := counts[a[ids[i]]], counts[a[ids[j]]]
+		if ci != cj {
+			return ci > cj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

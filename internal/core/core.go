@@ -1,0 +1,282 @@
+// Package core implements the paper's primary contribution: the Minim
+// family of minimal recoding strategies for dynamic TOCA code assignment
+// in power-controlled ad-hoc networks (section 4 of the paper).
+//
+//   - RecodeOnJoin (Fig 3): when node n joins, only nodes in
+//     1n ∪ 2n ∪ {n} are considered. A maximum-weight bipartite matching
+//     between those nodes and the colors 1..max — old-color edges
+//     weighted 3, all other feasible edges weighted 1 — selects new
+//     colors so that exactly Σ(K_i − 1) old nodes are recoded (the
+//     provably minimal number, Lemma 4.1.1/Theorem 4.1.8) while the
+//     maximum color index grows the least possible among minimal 1-hop
+//     strategies (Theorem 4.1.9).
+//   - RecodeOnPowIncrease (Fig 5): every new constraint involves n
+//     itself, so at most n is recoded, to the lowest feasible color.
+//   - RecodeDecreasePowOrLeave: removals never create conflicts; no node
+//     is recoded.
+//   - RecodeOnMove (Fig 8): equivalent to a leave followed by a join at
+//     the new position (Theorem 4.4.1), executed as one event.
+//
+// The Recoder implements strategy.Strategy so it can be driven by the
+// simulation harness side by side with the CP and BBB baselines.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adhoc"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/strategy"
+	"repro/internal/toca"
+)
+
+// weightOld is the matching weight of an old-color edge; weightNew is the
+// weight of every other feasible edge. The minimality proof requires
+// weightOld > 2*weightNew (one kept color must beat any two unit edges);
+// the paper uses 3 and 1.
+const (
+	weightOld int64 = 3
+	weightNew int64 = 1
+)
+
+// Recoder is the Minim strategy: an ad-hoc network replica plus a TOCA
+// assignment maintained minimally under reconfiguration events.
+type Recoder struct {
+	net    *adhoc.Network
+	assign toca.Assignment
+}
+
+var _ strategy.Strategy = (*Recoder)(nil)
+
+// New returns a Minim recoder over an empty network.
+func New() *Recoder {
+	return &Recoder{net: adhoc.New(), assign: make(toca.Assignment)}
+}
+
+// NewFrom returns a Minim recoder adopting an existing network and
+// assignment (both are used directly, not copied).
+func NewFrom(net *adhoc.Network, assign toca.Assignment) *Recoder {
+	return &Recoder{net: net, assign: assign}
+}
+
+// Name implements strategy.Strategy.
+func (r *Recoder) Name() string { return "Minim" }
+
+// Network implements strategy.Strategy.
+func (r *Recoder) Network() *adhoc.Network { return r.net }
+
+// Assignment implements strategy.Strategy.
+func (r *Recoder) Assignment() toca.Assignment { return r.assign }
+
+// Apply implements strategy.Strategy by dispatching to the per-event
+// recoding algorithms.
+func (r *Recoder) Apply(ev strategy.Event) (strategy.Outcome, error) {
+	switch ev.Kind {
+	case strategy.Join:
+		return r.Join(ev.ID, ev.Cfg)
+	case strategy.Leave:
+		return r.Leave(ev.ID)
+	case strategy.Move:
+		return r.Move(ev.ID, ev.Pos)
+	case strategy.PowerChange:
+		return r.SetRange(ev.ID, ev.R)
+	default:
+		return strategy.Outcome{}, fmt.Errorf("core: unknown event kind %v", ev.Kind)
+	}
+}
+
+// Join executes RecodeOnJoin (paper Fig 3) for a new node.
+func (r *Recoder) Join(id graph.NodeID, cfg adhoc.Config) (strategy.Outcome, error) {
+	if r.net.Has(id) {
+		return strategy.Outcome{}, fmt.Errorf("core: node %d already joined", id)
+	}
+	part := r.net.PartitionFor(id, cfg)
+	if err := r.net.Join(id, cfg); err != nil {
+		return strategy.Outcome{}, err
+	}
+	recoded := r.recodeLocal(id, part.InOrBoth())
+	return r.outcome(recoded), nil
+}
+
+// Leave executes RecodeDecreasePowOrLeave for a departing node: the node
+// is removed and nobody is recoded (Theorem 4.3.3: removals introduce no
+// conflicts).
+func (r *Recoder) Leave(id graph.NodeID) (strategy.Outcome, error) {
+	if err := r.net.Leave(id); err != nil {
+		return strategy.Outcome{}, err
+	}
+	delete(r.assign, id)
+	return r.outcome(nil), nil
+}
+
+// Move executes RecodeOnMove (paper Fig 8): the node is relocated and the
+// join-style matching recoding runs over the partition at the new
+// position (Theorem 4.4.1: move ≡ leave + join). The mover's old color
+// participates as a weight-3 edge, so it keeps its code whenever the
+// matching can afford it — matching the paper's Fig 9 example, where the
+// moving node retains its color.
+func (r *Recoder) Move(id graph.NodeID, pos geom.Point) (strategy.Outcome, error) {
+	cfg, ok := r.net.Config(id)
+	if !ok {
+		return strategy.Outcome{}, fmt.Errorf("core: node %d not in network", id)
+	}
+	cfg.Pos = pos
+	part := r.net.PartitionFor(id, cfg) // partition at the destination, excluding id
+	if err := r.net.Move(id, pos); err != nil {
+		return strategy.Outcome{}, err
+	}
+	recoded := r.recodeLocal(id, part.InOrBoth())
+	return r.outcome(recoded), nil
+}
+
+// recodeLocal runs steps 1-6 of RecodeOnJoin/RecodeOnMove for node n
+// whose relevant neighborhood is inOrBoth = 1n ∪ 2n (already reflecting
+// the network *after* the topology change). It mutates the assignment and
+// returns the recoded set.
+func (r *Recoder) recodeLocal(n graph.NodeID, inOrBoth []graph.NodeID) map[graph.NodeID]toca.Color {
+	g := r.net.Graph()
+
+	// V1 = 1n ∪ 2n ∪ {n}, in deterministic order with n last.
+	v1 := make([]graph.NodeID, 0, len(inOrBoth)+1)
+	v1 = append(v1, inOrBoth...)
+	v1 = append(v1, n)
+	excl := make(map[graph.NodeID]struct{}, len(v1))
+	for _, u := range v1 {
+		excl[u] = struct{}{}
+	}
+
+	// Steps 1-2: gather per-node external constraints.
+	old := make(map[graph.NodeID]toca.Color, len(v1))
+	forb := make(map[graph.NodeID]toca.ColorSet, len(v1))
+	for _, u := range v1 {
+		forb[u] = toca.Forbidden(g, r.assign, u, excl)
+		old[u] = r.assign[u]
+	}
+
+	// Steps 3-5 are the pure matching computation.
+	newColors := Solve(v1, old, forb)
+	recoded := make(map[graph.NodeID]toca.Color)
+	for _, u := range v1 {
+		c := newColors[u]
+		if r.assign[u] != c {
+			recoded[u] = c
+		}
+		r.assign[u] = c
+	}
+	return recoded
+}
+
+// Solve is the pure core of RecodeOnJoin/RecodeOnMove (steps 3-5 of the
+// paper's Fig 3): given V1 = 1n ∪ 2n ∪ {n}, each member's old color
+// (toca.None for a fresh joiner), and each member's externally forbidden
+// colors, it returns the new color for every member.
+//
+// It builds the weighted bipartite graph G' over colors 1..max (max =
+// maximum color among old colors and constraints), weights old-color
+// edges 3 and all other feasible edges 1, runs maximum-weight matching,
+// and hands fresh colors max+1, max+2, ... to unmatched members in V1
+// order.
+//
+// The function is shared by the sequential Recoder and the distributed
+// join protocol (package dist), which computes the same inputs from
+// protocol messages.
+func Solve(v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[graph.NodeID]toca.ColorSet) map[graph.NodeID]toca.Color {
+	return SolveWeighted(v1, old, forb, weightOld, weightNew)
+}
+
+// SolveWeighted is Solve with explicit edge weights. It exists for the
+// weight ablation (DESIGN.md A1): the minimality proof requires
+// wOld > 2*wNew, and running the recoder with wOld = 2 or wOld = 1
+// demonstrates how the guarantee degrades.
+func SolveWeighted(v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[graph.NodeID]toca.ColorSet, wOld, wNew int64) map[graph.NodeID]toca.Color {
+	maxC := toca.None
+	for _, u := range v1 {
+		if m := forb[u].Max(); m > maxC {
+			maxC = m
+		}
+		if c := old[u]; c > maxC {
+			maxC = c
+		}
+	}
+
+	var edges []matching.Edge
+	for i, u := range v1 {
+		for c := toca.Color(1); c <= maxC; c++ {
+			if forb[u].Has(c) {
+				continue
+			}
+			w := wNew
+			if c == old[u] {
+				w = wOld
+			}
+			edges = append(edges, matching.Edge{L: i, R: int(c - 1), W: w})
+		}
+	}
+
+	res := matching.MaxWeight(len(v1), int(maxC), edges)
+	out := make(map[graph.NodeID]toca.Color, len(v1))
+	next := maxC
+	for i, u := range v1 {
+		if m := res.MatchL[i]; m >= 0 {
+			out[u] = toca.Color(m + 1)
+		} else {
+			next++
+			out[u] = next
+		}
+	}
+	return out
+}
+
+// SetRange changes a node's transmission range, running
+// RecodeOnPowIncrease (paper Fig 5) for increases and the passive
+// RecodeDecreasePowOrLeave for decreases.
+func (r *Recoder) SetRange(id graph.NodeID, newRange float64) (strategy.Outcome, error) {
+	cfg, ok := r.net.Config(id)
+	if !ok {
+		return strategy.Outcome{}, fmt.Errorf("core: node %d not in network", id)
+	}
+	increase := newRange > cfg.Range
+	if err := r.net.SetRange(id, newRange); err != nil {
+		return strategy.Outcome{}, err
+	}
+	if !increase {
+		// Power decrease only removes edges; the old assignment stays
+		// valid and zero nodes are recoded (Theorem 4.3.3).
+		return r.outcome(nil), nil
+	}
+	// Power increase: every new constraint involves id itself (section
+	// 4.2), so recoding id alone suffices — and only if its current color
+	// now conflicts.
+	forb := toca.Forbidden(r.net.Graph(), r.assign, id, nil)
+	cur := r.assign[id]
+	if cur != toca.None && !forb.Has(cur) {
+		return r.outcome(nil), nil
+	}
+	c := forb.LowestFree()
+	r.assign[id] = c
+	return r.outcome(map[graph.NodeID]toca.Color{id: c}), nil
+}
+
+func (r *Recoder) outcome(recoded map[graph.NodeID]toca.Color) strategy.Outcome {
+	return strategy.Outcome{Recoded: recoded, MaxColor: r.assign.MaxColor()}
+}
+
+// MinimalJoinBound returns the paper's Lemma 4.1.1 lower bound on the
+// number of 1n ∪ 2n nodes that must be recoded when a node with the
+// given partition joins: Σ(K_i − 1) over the old-color classes of
+// 1n ∪ 2n. Unassigned nodes contribute no class.
+func MinimalJoinBound(assign toca.Assignment, inOrBoth []graph.NodeID) int {
+	counts := make(map[toca.Color]int)
+	for _, u := range inOrBoth {
+		if c := assign[u]; c != toca.None {
+			counts[c]++
+		}
+	}
+	bound := 0
+	for _, k := range counts {
+		bound += k - 1
+	}
+	return bound
+}

@@ -1,0 +1,238 @@
+// Package cp implements the CP recoding baseline — the distributed
+// strategy of Chlamtac and Pinter [3] as the paper describes and extends
+// it (sections 3 and 4.2) for asymmetric links and power increases.
+//
+// On a join, the new node plus every member of a duplicated old-color
+// class among the joiner's in-neighborhood (1n ∪ 2n) select new colors.
+// Selection proceeds in decreasing identity order ("highest-first node
+// ordering", per the paper's Fig 4/Fig 9 captions): when a node's turn
+// comes it takes the lowest color not held by any of its constraint
+// neighbors that either keep their color or have already selected. A
+// selecting node may re-select its old color, in which case it is not
+// counted as recoded.
+//
+// On a power increase by n, every node that gains a new constraint with n
+// and holds n's color, together with n itself, re-selects in decreasing
+// identity order.
+//
+// A move is handled as a leave from all neighbors followed by a join at
+// the new position, per the original CP formulation.
+package cp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adhoc"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/strategy"
+	"repro/internal/toca"
+)
+
+// Strategy is the CP baseline recoder.
+type Strategy struct {
+	net    *adhoc.Network
+	assign toca.Assignment
+	// StrictMove selects the literal reading of [3]'s movement handling:
+	// the mover leaves (dropping its code) and rejoins as a fresh node,
+	// so its re-selection always counts as a recoding. The default
+	// (false) is the charitable reading used in the paper's Fig 9, where
+	// the mover may re-select its old color at no cost.
+	StrictMove bool
+}
+
+var _ strategy.Strategy = (*Strategy)(nil)
+
+// New returns a CP recoder over an empty network.
+func New() *Strategy {
+	return &Strategy{net: adhoc.New(), assign: make(toca.Assignment)}
+}
+
+// NewStrict returns a CP recoder whose movement handling is the literal
+// leave-then-join of [3] (see StrictMove).
+func NewStrict() *Strategy {
+	s := New()
+	s.StrictMove = true
+	return s
+}
+
+// NewFrom returns a CP recoder adopting an existing network and
+// assignment (used directly, not copied).
+func NewFrom(net *adhoc.Network, assign toca.Assignment) *Strategy {
+	return &Strategy{net: net, assign: assign}
+}
+
+// Name implements strategy.Strategy.
+func (s *Strategy) Name() string {
+	if s.StrictMove {
+		return "CP-strict"
+	}
+	return "CP"
+}
+
+// Network implements strategy.Strategy.
+func (s *Strategy) Network() *adhoc.Network { return s.net }
+
+// Assignment implements strategy.Strategy.
+func (s *Strategy) Assignment() toca.Assignment { return s.assign }
+
+// Apply implements strategy.Strategy.
+func (s *Strategy) Apply(ev strategy.Event) (strategy.Outcome, error) {
+	switch ev.Kind {
+	case strategy.Join:
+		return s.Join(ev.ID, ev.Cfg)
+	case strategy.Leave:
+		return s.Leave(ev.ID)
+	case strategy.Move:
+		return s.Move(ev.ID, ev.Pos)
+	case strategy.PowerChange:
+		return s.SetRange(ev.ID, ev.R)
+	default:
+		return strategy.Outcome{}, fmt.Errorf("cp: unknown event kind %v", ev.Kind)
+	}
+}
+
+// Join handles a node joining: the joiner plus all duplicated-color
+// in-neighbors re-select colors highest-identity-first.
+func (s *Strategy) Join(id graph.NodeID, cfg adhoc.Config) (strategy.Outcome, error) {
+	if s.net.Has(id) {
+		return strategy.Outcome{}, fmt.Errorf("cp: node %d already joined", id)
+	}
+	part := s.net.PartitionFor(id, cfg)
+	if err := s.net.Join(id, cfg); err != nil {
+		return strategy.Outcome{}, err
+	}
+	recoded := s.reselect(append(duplicatedColorNodes(s.assign, part.InOrBoth()), id))
+	return s.outcome(recoded), nil
+}
+
+// Leave handles a departing node: neighbors merely update constraint
+// state; nobody recodes.
+func (s *Strategy) Leave(id graph.NodeID) (strategy.Outcome, error) {
+	if err := s.net.Leave(id); err != nil {
+		return strategy.Outcome{}, err
+	}
+	delete(s.assign, id)
+	return s.outcome(nil), nil
+}
+
+// Move handles movement as a leave-then-join pair (the CP formulation):
+// the mover keeps its old color as a candidate and re-selects together
+// with any duplicated-color in-neighbors at the destination.
+func (s *Strategy) Move(id graph.NodeID, pos geom.Point) (strategy.Outcome, error) {
+	cfg, ok := s.net.Config(id)
+	if !ok {
+		return strategy.Outcome{}, fmt.Errorf("cp: node %d not in network", id)
+	}
+	cfg.Pos = pos
+	part := s.net.PartitionFor(id, cfg)
+	if err := s.net.Move(id, pos); err != nil {
+		return strategy.Outcome{}, err
+	}
+	if s.StrictMove {
+		// Literal leave+join: the mover's code is relinquished before the
+		// re-selection, so whatever it picks is a fresh assignment.
+		delete(s.assign, id)
+	}
+	recoded := s.reselect(append(duplicatedColorNodes(s.assign, part.InOrBoth()), id))
+	return s.outcome(recoded), nil
+}
+
+// SetRange handles a power change. Decreases recode nobody. For an
+// increase by n, every node with a *new* constraint against n holding
+// n's color re-selects, along with n itself (the paper's section 4.2
+// description of the CP extension).
+func (s *Strategy) SetRange(id graph.NodeID, newRange float64) (strategy.Outcome, error) {
+	cfg, ok := s.net.Config(id)
+	if !ok {
+		return strategy.Outcome{}, fmt.Errorf("cp: node %d not in network", id)
+	}
+	increase := newRange > cfg.Range
+	before := toca.ConflictNeighbors(s.net.Graph(), id)
+	if err := s.net.SetRange(id, newRange); err != nil {
+		return strategy.Outcome{}, err
+	}
+	if !increase {
+		return s.outcome(nil), nil
+	}
+	after := toca.ConflictNeighbors(s.net.Graph(), id)
+	myColor := s.assign[id]
+	var group []graph.NodeID
+	for u := range after {
+		if _, old := before[u]; old {
+			continue // constraint existed before the increase
+		}
+		if s.assign[u] == myColor && myColor != toca.None {
+			group = append(group, u)
+		}
+	}
+	if len(group) == 0 {
+		// No conflicts: even n keeps its color (nothing to fix).
+		return s.outcome(nil), nil
+	}
+	recoded := s.reselect(append(group, id))
+	return s.outcome(recoded), nil
+}
+
+// duplicatedColorNodes returns every node of ids whose old color is held
+// by at least one other node of ids (the CA2 violators of the CP join
+// rule). Unassigned nodes are skipped.
+func duplicatedColorNodes(assign toca.Assignment, ids []graph.NodeID) []graph.NodeID {
+	counts := make(map[toca.Color]int)
+	for _, u := range ids {
+		if c := assign[u]; c != toca.None {
+			counts[c]++
+		}
+	}
+	var out []graph.NodeID
+	for _, u := range ids {
+		if c := assign[u]; c != toca.None && counts[c] >= 2 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// reselect runs the CP distributed selection for the given group:
+// highest identity first, each member taking the lowest color not used by
+// any constraint neighbor outside the still-undecided remainder of the
+// group. It returns the nodes whose color actually changed.
+func (s *Strategy) reselect(group []graph.NodeID) map[graph.NodeID]toca.Color {
+	g := s.net.Graph()
+	// Decreasing identity order; duplicates removed defensively.
+	seen := make(map[graph.NodeID]struct{}, len(group))
+	order := group[:0]
+	for _, u := range group {
+		if _, dup := seen[u]; !dup {
+			seen[u] = struct{}{}
+			order = append(order, u)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] > order[j] })
+
+	undecided := make(map[graph.NodeID]struct{}, len(order))
+	for _, u := range order {
+		undecided[u] = struct{}{}
+	}
+	recoded := make(map[graph.NodeID]toca.Color)
+	for _, u := range order {
+		delete(undecided, u) // u now decides; its pick constrains later members
+		forbidden := toca.Forbidden(g, s.assign, u, undecided)
+		old := s.assign[u]
+		// The node's own stale entry must not forbid re-selecting itself;
+		// Forbidden only consults neighbors, so no correction is needed —
+		// but a neighbor that decided earlier is consulted through its
+		// already-updated assignment, which is exactly the CP rule.
+		c := forbidden.LowestFree()
+		s.assign[u] = c
+		if c != old {
+			recoded[u] = c
+		}
+	}
+	return recoded
+}
+
+func (s *Strategy) outcome(recoded map[graph.NodeID]toca.Color) strategy.Outcome {
+	return strategy.Outcome{Recoded: recoded, MaxColor: s.assign.MaxColor()}
+}

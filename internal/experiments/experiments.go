@@ -1,0 +1,440 @@
+// Package experiments regenerates every figure of the paper's section 5
+// evaluation: Fig 10(a-f) for node joins, Fig 11(a-c) for power-range
+// increases, and Fig 12(a-d) for node movement. Each figure function
+// returns the plotted series (one per strategy); every point is the mean
+// over cfg.Runs randomly generated networks, exactly as in the paper
+// ("all points on all plots are the average of the metric measured over
+// 100 runs").
+//
+// Runs are independent and fan out across a bounded worker pool sized to
+// the machine (the per-run work is the simulation of three strategies on
+// an identical event script).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Config controls an experiment sweep.
+type Config struct {
+	Runs     int    // networks per plotted point (paper: 100)
+	Seed     uint64 // master seed; run i of point j derives its own stream
+	Workers  int    // parallel runs; 0 means GOMAXPROCS
+	Validate bool   // re-verify CA1/CA2 after every event (slow)
+}
+
+// DefaultConfig returns the paper's run count with a fixed master seed.
+func DefaultConfig() Config {
+	return Config{Runs: 100, Seed: 20010113}
+}
+
+// workers resolves the worker-pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Series is one plotted line: a strategy's metric across the x sweep.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64       // mean over runs
+	Err   []float64       // 95% CI half-width over runs
+	Raw   []stats.Summary // full per-point summaries
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// point is one (x index, strategy) cell of a sweep, aggregated over runs.
+type point struct {
+	acc map[sim.StrategyName]*stats.Accumulator
+	mu  sync.Mutex
+}
+
+func newPoint() *point {
+	p := &point{acc: make(map[sim.StrategyName]*stats.Accumulator)}
+	for _, n := range sim.AllStrategies {
+		p.acc[n] = &stats.Accumulator{}
+	}
+	return p
+}
+
+func (p *point) add(name sim.StrategyName, v float64) {
+	p.mu.Lock()
+	p.acc[name].Add(v)
+	p.mu.Unlock()
+}
+
+// sweep runs cfg.Runs simulations for every x value, extracting one
+// metric per strategy per run via extract. The scripts function builds
+// the (base, phase) event scripts for a given x value and per-run seed.
+func sweep(
+	cfg Config,
+	xs []float64,
+	scripts func(x float64, seed uint64) (base, phase []strategy.Event),
+	extract func(r sim.PhaseResult) float64,
+	strategies []sim.StrategyName,
+) ([]Series, error) {
+	points := make([]*point, len(xs))
+	for i := range points {
+		points[i] = newPoint()
+	}
+
+	type job struct {
+		xi  int
+		run int
+	}
+	jobs := make(chan job)
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	master := xrand.New(cfg.Seed)
+	// Pre-derive per-(point, run) seeds deterministically, independent of
+	// scheduling order.
+	seeds := make([][]uint64, len(xs))
+	for i := range xs {
+		seeds[i] = make([]uint64, cfg.Runs)
+		for r := 0; r < cfg.Runs; r++ {
+			seeds[i][r] = master.Uint64()
+		}
+	}
+
+	for w := 0; w < cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				base, phase := scripts(xs[j.xi], seeds[j.xi][j.run])
+				results, err := sim.RunPhases(strategies, base, phase, cfg.Validate)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					continue
+				}
+				for _, r := range results {
+					points[j.xi].add(r.Name, extract(r))
+				}
+			}
+		}()
+	}
+	for xi := range xs {
+		for r := 0; r < cfg.Runs; r++ {
+			jobs <- job{xi, r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	series := make([]Series, 0, len(strategies))
+	for _, name := range strategies {
+		s := Series{Label: string(name), X: append([]float64(nil), xs...)}
+		for xi := range xs {
+			sum := points[xi].acc[name].Summary()
+			s.Y = append(s.Y, sum.Mean)
+			s.Err = append(s.Err, sum.CI95())
+			s.Raw = append(s.Raw, sum)
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// ---- Fig 10: node join (section 5.1) ----
+
+// fig10NValues is the paper's x axis for Figs 10(a-c).
+func fig10NValues() []float64 {
+	return []float64{40, 50, 60, 70, 80, 90, 100, 110, 120}
+}
+
+// fig10AvgRValues is the paper's x axis for Figs 10(d-f): average range
+// (minr+maxr)/2 with maxr-minr = 5.
+func fig10AvgRValues() []float64 {
+	return []float64{5, 15, 25, 35, 45, 55, 65}
+}
+
+func joinScriptsForN(x float64, seed uint64) ([]strategy.Event, []strategy.Event) {
+	p := workload.Defaults()
+	p.N = int(x)
+	return workload.JoinScript(seed, p), nil
+}
+
+func joinScriptsForAvgR(x float64, seed uint64) ([]strategy.Event, []strategy.Event) {
+	p := workload.Defaults()
+	p.N = 100
+	p.MinR = x - 2.5
+	p.MaxR = x + 2.5
+	if p.MinR < 0 {
+		p.MinR = 0
+	}
+	return workload.JoinScript(seed, p), nil
+}
+
+func extractMaxColor(r sim.PhaseResult) float64       { return float64(r.Final.MaxColor) }
+func extractRecodings(r sim.PhaseResult) float64      { return float64(r.Final.TotalRecodings) }
+func extractDeltaMaxColor(r sim.PhaseResult) float64  { return float64(r.DeltaMaxColor()) }
+func extractDeltaRecodings(r sim.PhaseResult) float64 { return float64(r.DeltaRecodings()) }
+
+// Fig10a: maximum color index vs number of stations N (Minim, CP, BBB).
+func Fig10a(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig10NValues(), joinScriptsForN, extractMaxColor, sim.AllStrategies)
+	return Figure{
+		ID: "10a", Title: "Node join: total colors vs N",
+		XLabel: "Number of Stations N", YLabel: "Max Color Index Assigned",
+		Series: s,
+	}, err
+}
+
+// Fig10b: total recodings vs N (Minim, CP, BBB).
+func Fig10b(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig10NValues(), joinScriptsForN, extractRecodings, sim.AllStrategies)
+	return Figure{
+		ID: "10b", Title: "Node join: recodings vs N",
+		XLabel: "Number of Stations N", YLabel: "Total Number of Recodings",
+		Series: s,
+	}, err
+}
+
+// Fig10c: total recodings vs N, distributed strategies only (Minim, CP).
+func Fig10c(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig10NValues(), joinScriptsForN, extractRecodings,
+		[]sim.StrategyName{sim.Minim, sim.CP})
+	return Figure{
+		ID: "10c", Title: "Node join: recodings vs N (distributed only)",
+		XLabel: "Number of Stations N", YLabel: "Total Number of Recodings",
+		Series: s,
+	}, err
+}
+
+// Fig10d: maximum color index vs average range (Minim, CP, BBB).
+func Fig10d(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig10AvgRValues(), joinScriptsForAvgR, extractMaxColor, sim.AllStrategies)
+	return Figure{
+		ID: "10d", Title: "Node join: total colors vs average range",
+		XLabel: "Avg R", YLabel: "Max Color Index Assigned",
+		Series: s,
+	}, err
+}
+
+// Fig10e: total recodings vs average range (Minim, CP, BBB).
+func Fig10e(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig10AvgRValues(), joinScriptsForAvgR, extractRecodings, sim.AllStrategies)
+	return Figure{
+		ID: "10e", Title: "Node join: recodings vs average range",
+		XLabel: "Avg R", YLabel: "Total Number of Recodings",
+		Series: s,
+	}, err
+}
+
+// Fig10f: total recodings vs average range (Minim, CP).
+func Fig10f(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig10AvgRValues(), joinScriptsForAvgR, extractRecodings,
+		[]sim.StrategyName{sim.Minim, sim.CP})
+	return Figure{
+		ID: "10f", Title: "Node join: recodings vs average range (distributed only)",
+		XLabel: "Avg R", YLabel: "Total Number of Recodings",
+		Series: s,
+	}, err
+}
+
+// ---- Fig 11: power range increase (section 5.2) ----
+
+// fig11RaiseFactors is the paper's x axis for Fig 11.
+func fig11RaiseFactors() []float64 {
+	return []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5, 5.5, 6}
+}
+
+func raiseScripts(x float64, seed uint64) ([]strategy.Event, []strategy.Event) {
+	p := workload.Defaults() // N=100, ranges (20.5, 30.5), as in the paper
+	p.RaiseFactor = x
+	return workload.JoinScript(seed, p), workload.PowerRaiseScript(seed, p)
+}
+
+// Fig11a: Δ(max color index) vs raisefactor (Minim, CP, BBB).
+func Fig11a(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig11RaiseFactors(), raiseScripts, extractDeltaMaxColor, sim.AllStrategies)
+	return Figure{
+		ID: "11a", Title: "Power increase: Δ(max color) vs raisefactor",
+		XLabel: "raisefactor", YLabel: "Delta(Max Color Index Assigned)",
+		Series: s,
+	}, err
+}
+
+// Fig11b: Δ(total recodings) vs raisefactor (Minim, CP, BBB).
+func Fig11b(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig11RaiseFactors(), raiseScripts, extractDeltaRecodings, sim.AllStrategies)
+	return Figure{
+		ID: "11b", Title: "Power increase: Δ(recodings) vs raisefactor",
+		XLabel: "raisefactor", YLabel: "Delta(Total Number of Recodings)",
+		Series: s,
+	}, err
+}
+
+// Fig11c: Δ(total recodings) vs raisefactor (Minim, CP).
+func Fig11c(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig11RaiseFactors(), raiseScripts, extractDeltaRecodings,
+		[]sim.StrategyName{sim.Minim, sim.CP})
+	return Figure{
+		ID: "11c", Title: "Power increase: Δ(recodings) vs raisefactor (distributed only)",
+		XLabel: "raisefactor", YLabel: "Delta(Total Number of Recodings)",
+		Series: s,
+	}, err
+}
+
+// ---- Fig 12: node movement (section 5.3) ----
+
+// fig12MaxDispValues is the paper's x axis for Fig 12(a).
+func fig12MaxDispValues() []float64 {
+	return []float64{0, 10, 20, 30, 40, 50, 60, 70, 80}
+}
+
+// fig12RoundValues is the paper's x axis for Figs 12(b-d).
+func fig12RoundValues() []float64 {
+	return []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+}
+
+// moveParams is the paper's section 5.3 base: N=40, ranges (20.5, 30.5).
+func moveParams() workload.Params {
+	p := workload.Defaults()
+	p.N = 40
+	return p
+}
+
+func moveScriptsByDisp(x float64, seed uint64) ([]strategy.Event, []strategy.Event) {
+	p := moveParams()
+	p.MaxDisp = x
+	p.RoundNo = 1
+	return workload.JoinScript(seed, p), workload.MoveScript(seed, p)
+}
+
+func moveScriptsByRounds(x float64, seed uint64) ([]strategy.Event, []strategy.Event) {
+	p := moveParams()
+	p.MaxDisp = 40
+	p.RoundNo = int(x)
+	return workload.JoinScript(seed, p), workload.MoveScript(seed, p)
+}
+
+// Fig12a: Δ(recodings) vs maxdisp with RoundNo=1 (Minim, CP).
+func Fig12a(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig12MaxDispValues(), moveScriptsByDisp, extractDeltaRecodings,
+		[]sim.StrategyName{sim.Minim, sim.CP})
+	return Figure{
+		ID: "12a", Title: "Movement: Δ(recodings) vs maxdisp",
+		XLabel: "maxdisp", YLabel: "Delta(Total Number of Recodings)",
+		Series: s,
+	}, err
+}
+
+// Fig12b: Δ(max color) vs RoundNo with maxdisp=40 (Minim, CP, BBB).
+func Fig12b(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig12RoundValues(), moveScriptsByRounds, extractDeltaMaxColor, sim.AllStrategies)
+	return Figure{
+		ID: "12b", Title: "Movement: Δ(max color) vs RoundNo",
+		XLabel: "RoundNo", YLabel: "Delta(Max Color Index Assigned)",
+		Series: s,
+	}, err
+}
+
+// Fig12c: Δ(recodings) vs RoundNo (Minim, CP, BBB).
+func Fig12c(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig12RoundValues(), moveScriptsByRounds, extractDeltaRecodings, sim.AllStrategies)
+	return Figure{
+		ID: "12c", Title: "Movement: Δ(recodings) vs RoundNo",
+		XLabel: "RoundNo", YLabel: "Delta(Total Number of Recodings)",
+		Series: s,
+	}, err
+}
+
+// Fig12d: Δ(recodings) vs RoundNo (Minim, CP).
+func Fig12d(cfg Config) (Figure, error) {
+	s, err := sweep(cfg, fig12RoundValues(), moveScriptsByRounds, extractDeltaRecodings,
+		[]sim.StrategyName{sim.Minim, sim.CP})
+	return Figure{
+		ID: "12d", Title: "Movement: Δ(recodings) vs RoundNo (distributed only)",
+		XLabel: "RoundNo", YLabel: "Delta(Total Number of Recodings)",
+		Series: s,
+	}, err
+}
+
+// All regenerates every paper figure in order.
+func All(cfg Config) ([]Figure, error) {
+	funcs := []func(Config) (Figure, error){
+		Fig10a, Fig10b, Fig10c, Fig10d, Fig10e, Fig10f,
+		Fig11a, Fig11b, Fig11c,
+		Fig12a, Fig12b, Fig12c, Fig12d,
+	}
+	figs := make([]Figure, 0, len(funcs))
+	for _, f := range funcs {
+		fig, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// ByID regenerates a single figure by its paper ID (e.g. "10a").
+func ByID(id string, cfg Config) (Figure, error) {
+	switch id {
+	case "10a":
+		return Fig10a(cfg)
+	case "10b":
+		return Fig10b(cfg)
+	case "10c":
+		return Fig10c(cfg)
+	case "10d":
+		return Fig10d(cfg)
+	case "10e":
+		return Fig10e(cfg)
+	case "10f":
+		return Fig10f(cfg)
+	case "11a":
+		return Fig11a(cfg)
+	case "11b":
+		return Fig11b(cfg)
+	case "11c":
+		return Fig11c(cfg)
+	case "12a":
+		return Fig12a(cfg)
+	case "12b":
+		return Fig12b(cfg)
+	case "12c":
+		return Fig12c(cfg)
+	case "12d":
+		return Fig12d(cfg)
+	case "m1":
+		return FigM1(cfg)
+	default:
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+}
+
+// IDs lists every regenerable figure: the paper's thirteen plus the
+// message-overhead extension m1.
+func IDs() []string {
+	return []string{"10a", "10b", "10c", "10d", "10e", "10f",
+		"11a", "11b", "11c", "12a", "12b", "12c", "12d", "m1"}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps tests fast: 3 runs per point, serial determinism not
+// required (aggregation is order-independent means over runs).
+func smallCfg() Config {
+	return Config{Runs: 3, Seed: 99, Workers: 4}
+}
+
+func seriesByLabel(fig Figure, label string) Series {
+	for _, s := range fig.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	return Series{}
+}
+
+func TestFig10aShape(t *testing.T) {
+	fig, err := Fig10a(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "10a" || len(fig.Series) != 3 {
+		t.Fatalf("figure = %+v", fig)
+	}
+	minim := seriesByLabel(fig, "Minim")
+	cp := seriesByLabel(fig, "CP")
+	bbbS := seriesByLabel(fig, "BBB")
+	if len(minim.X) != 9 {
+		t.Fatalf("x axis = %v", minim.X)
+	}
+	// Paper shape: BBB <= Minim <= CP (within noise) on max color; check
+	// the aggregate over the sweep rather than pointwise.
+	var sumM, sumC, sumB float64
+	for i := range minim.Y {
+		sumM += minim.Y[i]
+		sumC += cp.Y[i]
+		sumB += bbbS.Y[i]
+	}
+	if sumB > sumM {
+		t.Fatalf("BBB aggregate max color %.1f > Minim %.1f", sumB, sumM)
+	}
+	if sumM > sumC+2 { // Minim may tie CP pointwise; aggregate must not exceed
+		t.Fatalf("Minim aggregate max color %.1f > CP %.1f", sumM, sumC)
+	}
+	// Color need grows with N.
+	if minim.Y[len(minim.Y)-1] <= minim.Y[0] {
+		t.Fatalf("max color did not grow with N: %v", minim.Y)
+	}
+}
+
+func TestFig10bcShape(t *testing.T) {
+	cfg := smallCfg()
+	fb, err := Fig10b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := Fig10c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Series) != 2 {
+		t.Fatalf("10c series = %d", len(fc.Series))
+	}
+	minim := seriesByLabel(fb, "Minim")
+	cp := seriesByLabel(fb, "CP")
+	bbbS := seriesByLabel(fb, "BBB")
+	for i := range minim.X {
+		if bbbS.Y[i] < cp.Y[i] {
+			t.Fatalf("x=%g: BBB recodings %.1f < CP %.1f", minim.X[i], bbbS.Y[i], cp.Y[i])
+		}
+	}
+	var sumM, sumC float64
+	for i := range minim.Y {
+		sumM += minim.Y[i]
+		sumC += cp.Y[i]
+	}
+	if sumM > sumC {
+		t.Fatalf("Minim aggregate recodings %.1f > CP %.1f", sumM, sumC)
+	}
+	// Recodings are at least N (every joiner gets a first code).
+	for i, x := range minim.X {
+		if minim.Y[i] < x {
+			t.Fatalf("N=%g: Minim recodings %.1f < N", x, minim.Y[i])
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	cfg := smallCfg()
+	fb, err := Fig11b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minim := seriesByLabel(fb, "Minim")
+	cp := seriesByLabel(fb, "CP")
+	bbbS := seriesByLabel(fb, "BBB")
+	// raisefactor = 1 is a no-op: zero deltas for the local strategies.
+	if minim.Y[0] != 0 || cp.Y[0] != 0 {
+		t.Fatalf("raisefactor=1 deltas: Minim %.1f CP %.1f", minim.Y[0], cp.Y[0])
+	}
+	// The paper's headline: Minim recodes far less than CP and BBB.
+	var sumM, sumC, sumB float64
+	for i := 1; i < len(minim.Y); i++ {
+		sumM += minim.Y[i]
+		sumC += cp.Y[i]
+		sumB += bbbS.Y[i]
+	}
+	if sumM >= sumC {
+		t.Fatalf("Minim Δrecodings %.1f >= CP %.1f", sumM, sumC)
+	}
+	if sumC >= sumB {
+		t.Fatalf("CP Δrecodings %.1f >= BBB %.1f", sumC, sumB)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	cfg := smallCfg()
+	fa, err := Fig12a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fa.Series) != 2 {
+		t.Fatalf("12a series = %d", len(fa.Series))
+	}
+	minim := seriesByLabel(fa, "Minim")
+	cp := seriesByLabel(fa, "CP")
+	// maxdisp = 0: nobody moves anywhere, Minim recodes nothing. (CP may
+	// re-pick colors for the mover but lands on the same one: also 0.)
+	if minim.Y[0] != 0 {
+		t.Fatalf("maxdisp=0 Minim Δ = %.1f", minim.Y[0])
+	}
+	var sumM, sumC float64
+	for i := range minim.Y {
+		sumM += minim.Y[i]
+		sumC += cp.Y[i]
+	}
+	if sumM >= sumC {
+		t.Fatalf("Minim Δrecodings %.1f >= CP %.1f over maxdisp sweep", sumM, sumC)
+	}
+
+	fcFig, err := Fig12c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m12c := seriesByLabel(fcFig, "Minim")
+	c12c := seriesByLabel(fcFig, "CP")
+	// More rounds, more recodings (monotone in aggregate: compare round 1
+	// vs round 10).
+	if m12c.Y[len(m12c.Y)-1] <= m12c.Y[0] {
+		t.Fatalf("Minim Δrecodings not growing with rounds: %v", m12c.Y)
+	}
+	if c12c.Y[len(c12c.Y)-1] <= c12c.Y[0] {
+		t.Fatalf("CP Δrecodings not growing with rounds: %v", c12c.Y)
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	cfg := Config{Runs: 1, Seed: 3, Workers: 2}
+	for _, id := range IDs() {
+		fig, err := ByID(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if fig.ID != id {
+			t.Fatalf("ByID(%q).ID = %q", id, fig.ID)
+		}
+		if len(fig.Series) == 0 || len(fig.Series[0].X) == 0 {
+			t.Fatalf("%s: empty figure", id)
+		}
+	}
+	if _, err := ByID("99z", cfg); err == nil {
+		t.Fatal("unknown id did not error")
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	a, err := Fig10a(Config{Runs: 2, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig10a(Config{Runs: 2, Seed: 7, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Series {
+		for i := range a.Series[si].Y {
+			if a.Series[si].Y[i] != b.Series[si].Y[i] {
+				t.Fatalf("series %d point %d: %.3f vs %.3f",
+					si, i, a.Series[si].Y[i], b.Series[si].Y[i])
+			}
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	fig, err := Fig12a(Config{Runs: 1, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 12a", "Minim", "CP", "maxdisp"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// One row per x value plus header, separator, footer.
+	if lines := strings.Count(out, "\n"); lines < 12 {
+		t.Fatalf("render too short (%d lines):\n%s", lines, out)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Runs != 100 {
+		t.Fatalf("default runs = %d, want the paper's 100", cfg.Runs)
+	}
+	if cfg.workers() < 1 {
+		t.Fatal("workers")
+	}
+}

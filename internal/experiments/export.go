@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits a figure as CSV: header "x,<label>,<label>_ci95,...",
+// one row per x value. The CSV round-trips through ReadCSV.
+func WriteCSV(w io.Writer, fig Figure) error {
+	cw := csv.NewWriter(w)
+	header := []string{"x"}
+	for _, s := range fig.Series {
+		header = append(header, s.Label, s.Label+"_ci95")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(fig.Series) > 0 {
+		for i, x := range fig.Series[0].X {
+			row := []string{formatFloat(x)}
+			for _, s := range fig.Series {
+				row = append(row, formatFloat(s.Y[i]), formatFloat(s.Err[i]))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a figure previously written by WriteCSV. Only the
+// series data is recovered (labels, X, Y, Err); figure metadata is not
+// stored in the CSV.
+func ReadCSV(r io.Reader) (Figure, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return Figure{}, err
+	}
+	if len(records) == 0 {
+		return Figure{}, fmt.Errorf("experiments: empty CSV")
+	}
+	header := records[0]
+	if len(header) < 3 || header[0] != "x" || (len(header)-1)%2 != 0 {
+		return Figure{}, fmt.Errorf("experiments: malformed CSV header %v", header)
+	}
+	nSeries := (len(header) - 1) / 2
+	fig := Figure{}
+	for s := 0; s < nSeries; s++ {
+		label := header[1+2*s]
+		if header[2+2*s] != label+"_ci95" {
+			return Figure{}, fmt.Errorf("experiments: malformed CI column for %q", label)
+		}
+		fig.Series = append(fig.Series, Series{Label: label})
+	}
+	for ri, row := range records[1:] {
+		if len(row) != len(header) {
+			return Figure{}, fmt.Errorf("experiments: row %d has %d fields, want %d", ri+1, len(row), len(header))
+		}
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return Figure{}, fmt.Errorf("experiments: row %d x: %w", ri+1, err)
+		}
+		for s := 0; s < nSeries; s++ {
+			y, err := strconv.ParseFloat(row[1+2*s], 64)
+			if err != nil {
+				return Figure{}, fmt.Errorf("experiments: row %d series %d: %w", ri+1, s, err)
+			}
+			ci, err := strconv.ParseFloat(row[2+2*s], 64)
+			if err != nil {
+				return Figure{}, fmt.Errorf("experiments: row %d series %d ci: %w", ri+1, s, err)
+			}
+			fig.Series[s].X = append(fig.Series[s].X, x)
+			fig.Series[s].Y = append(fig.Series[s].Y, y)
+			fig.Series[s].Err = append(fig.Series[s].Err, ci)
+		}
+	}
+	return fig, nil
+}
+
+// WriteGnuplot emits a self-contained gnuplot script (data inlined via
+// heredoc) that renders the figure with error bars, mirroring the
+// paper's plot style.
+func WriteGnuplot(w io.Writer, fig Figure) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Figure %s — %s\n", fig.ID, fig.Title)
+	fmt.Fprintf(&b, "set title %q\n", fig.Title)
+	fmt.Fprintf(&b, "set xlabel %q\n", fig.XLabel)
+	fmt.Fprintf(&b, "set ylabel %q\n", fig.YLabel)
+	fmt.Fprintf(&b, "set key top left\nset grid\n")
+	var plots []string
+	for i, s := range fig.Series {
+		plots = append(plots, fmt.Sprintf("$data%d with yerrorlines title %q", i, s.Label))
+	}
+	for i, s := range fig.Series {
+		fmt.Fprintf(&b, "$data%d << EOD\n", i)
+		for j := range s.X {
+			fmt.Fprintf(&b, "%s %s %s\n", formatFloat(s.X[j]), formatFloat(s.Y[j]), formatFloat(s.Err[j]))
+		}
+		fmt.Fprintf(&b, "EOD\n")
+	}
+	fmt.Fprintf(&b, "plot %s\n", strings.Join(plots, ", \\\n     "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}

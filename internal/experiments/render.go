@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes a figure as an aligned text table: one row per x value,
+// one column per strategy, mean ± 95% CI. This is the textual equivalent
+// of the paper's plots.
+func Render(w io.Writer, fig Figure) error {
+	if _, err := fmt.Fprintf(w, "Figure %s — %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	header := []string{fig.XLabel}
+	for _, s := range fig.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	if len(fig.Series) > 0 {
+		for i, x := range fig.Series[0].X {
+			row := []string{trimFloat(x)}
+			for _, s := range fig.Series {
+				row = append(row, fmt.Sprintf("%.2f ±%.2f", s.Y[i], s.Err[i]))
+			}
+			rows = append(rows, row)
+		}
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		cells := make([]string, len(row))
+		for c, cell := range row {
+			cells[c] = pad(cell, widths[c])
+		}
+		if _, err := fmt.Fprintln(w, "  "+strings.Join(cells, "  ")); err != nil {
+			return err
+		}
+		if ri == 0 {
+			total := 2
+			for _, wd := range widths {
+				total += wd + 2
+			}
+			if _, err := fmt.Fprintln(w, "  "+strings.Repeat("-", total-2)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "  (%s: mean ± 95%% CI over runs)\n", fig.YLabel)
+	return err
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.1f", x)
+	return strings.TrimSuffix(s, ".0")
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

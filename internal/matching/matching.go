@@ -1,0 +1,435 @@
+// Package matching provides bipartite matching algorithms.
+//
+// The paper's RecodeOnJoin/RecodeOnMove treat maximum-weight bipartite
+// matching as a black box ([14] Galil's survey); this package supplies
+// the box. Three exact algorithms are included:
+//
+//   - MaxWeight: Hungarian algorithm (Jonker-Volgenant potentials) on a
+//     dense padded matrix, O(n^2 m). The production path.
+//   - MaxWeightSSP: successive shortest augmenting paths over the sparse
+//     edge list (SPFA with negative reduced costs). A second exact
+//     implementation used to cross-check the first and for ablation.
+//   - HopcroftKarp: maximum-cardinality matching, O(E sqrt(V)), used by
+//     the weight-ablation benchmarks and as a utility.
+//
+// Weights must be non-negative. "Maximum weight" means maximum total
+// weight over all matchings of any cardinality; since all real edges in
+// the recoding use weights >= 1, such a matching also matches as many
+// vertices as possible subject to weight optimality.
+package matching
+
+import "fmt"
+
+// Edge is a weighted edge between left vertex L and right vertex R.
+type Edge struct {
+	L, R int
+	W    int64
+}
+
+const inf = int64(1) << 62
+
+// Result describes a matching: MatchL[l] is the right vertex matched to
+// left vertex l, or -1; MatchR is the inverse view; Weight is the total.
+type Result struct {
+	MatchL []int
+	MatchR []int
+	Weight int64
+}
+
+// validate checks edge indices and weights, panicking on programmer error.
+func validate(nLeft, nRight int, edges []Edge) {
+	if nLeft < 0 || nRight < 0 {
+		panic("matching: negative partition size")
+	}
+	for _, e := range edges {
+		if e.L < 0 || e.L >= nLeft || e.R < 0 || e.R >= nRight {
+			panic(fmt.Sprintf("matching: edge (%d,%d) out of range %dx%d", e.L, e.R, nLeft, nRight))
+		}
+		if e.W < 0 {
+			panic(fmt.Sprintf("matching: negative weight %d on edge (%d,%d)", e.W, e.L, e.R))
+		}
+	}
+}
+
+// MaxWeight returns a maximum-weight matching using the Hungarian
+// algorithm with potentials on a dense cost matrix. Parallel edges keep
+// the heaviest weight. Runs in O(n^2 m) time and O(n m) space where
+// n = nLeft (padded rows) and m >= nRight.
+func MaxWeight(nLeft, nRight int, edges []Edge) Result {
+	validate(nLeft, nRight, edges)
+	res := Result{
+		MatchL: filled(nLeft, -1),
+		MatchR: filled(nRight, -1),
+	}
+	if nLeft == 0 || nRight == 0 || len(edges) == 0 {
+		return res
+	}
+
+	// Weight matrix; absent edges stay at 0 (equivalent to unmatched).
+	var maxW int64
+	w := make([][]int64, nLeft)
+	for i := range w {
+		w[i] = make([]int64, nRight)
+	}
+	for _, e := range edges {
+		if e.W > w[e.L][e.R] {
+			w[e.L][e.R] = e.W
+		}
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+
+	// The Hungarian solver needs rows <= cols; pad columns with
+	// zero-weight slack if necessary. Cost = maxW - weight transforms
+	// maximization into minimization; zero-weight cells cost maxW, so a
+	// "match" through them is equivalent to being unmatched and is
+	// stripped afterwards.
+	cols := nRight
+	if nLeft > cols {
+		cols = nLeft
+	}
+	cost := make([][]int64, nLeft)
+	for i := range cost {
+		cost[i] = make([]int64, cols)
+		for j := 0; j < cols; j++ {
+			if j < nRight {
+				cost[i][j] = maxW - w[i][j]
+			} else {
+				cost[i][j] = maxW
+			}
+		}
+	}
+
+	assign := solveAssignment(cost)
+	for l, r := range assign {
+		if r >= 0 && r < nRight && w[l][r] > 0 {
+			res.MatchL[l] = r
+			res.MatchR[r] = l
+			res.Weight += w[l][r]
+		}
+	}
+	return res
+}
+
+// solveAssignment solves the rectangular assignment problem (rows <=
+// cols) minimizing total cost, returning the column assigned to each row.
+// Classic O(n^2 m) Hungarian algorithm with row/column potentials.
+func solveAssignment(cost [][]int64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	if n > m {
+		panic("matching: solveAssignment requires rows <= cols")
+	}
+	u := make([]int64, n+1)
+	v := make([]int64, m+1)
+	p := make([]int, m+1)   // p[j] = row matched to column j (1-based), 0 = free
+	way := make([]int, m+1) // back-pointers along the alternating tree
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := filled(n, -1)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}
+
+// MaxWeightSSP returns a maximum-weight matching by successive shortest
+// augmenting paths over the sparse edge list (min-cost flow with unit
+// capacities and SPFA for negative reduced costs). Exact; used to
+// cross-check MaxWeight and in the matcher ablation bench.
+func MaxWeightSSP(nLeft, nRight int, edges []Edge) Result {
+	validate(nLeft, nRight, edges)
+	res := Result{
+		MatchL: filled(nLeft, -1),
+		MatchR: filled(nRight, -1),
+	}
+	if nLeft == 0 || nRight == 0 || len(edges) == 0 {
+		return res
+	}
+
+	// Deduplicate parallel edges keeping the heaviest.
+	best := make(map[[2]int]int64, len(edges))
+	for _, e := range edges {
+		key := [2]int{e.L, e.R}
+		if w, ok := best[key]; !ok || e.W > w {
+			best[key] = e.W
+		}
+	}
+	adj := make([][]Edge, nLeft)
+	for key, w := range best {
+		adj[key[0]] = append(adj[key[0]], Edge{L: key[0], R: key[1], W: w})
+	}
+
+	// Repeatedly find the most profitable augmenting path (max total
+	// weight gain) via SPFA over the residual graph; stop when no path
+	// has positive gain.
+	for {
+		gain, path := bestAugmentingPath(nLeft, nRight, adj, res.MatchL, res.MatchR)
+		if gain <= 0 {
+			return res
+		}
+		// path alternates L,R,L,R,...: flip matched status along it.
+		for i := 0; i+1 < len(path); i += 2 {
+			l, r := path[i], path[i+1]
+			res.MatchL[l] = r
+			res.MatchR[r] = l
+		}
+		res.Weight += gain
+	}
+}
+
+// bestAugmentingPath runs SPFA from all free left vertices, maximizing
+// the weight gain (forward unmatched edge adds W, backward matched edge
+// subtracts W). It returns the best gain and the corresponding
+// alternating path as [l0, r0, l1, r1, ...] where (l_i, r_i) become
+// matched pairs.
+func bestAugmentingPath(nLeft, nRight int, adj [][]Edge, matchL, matchR []int) (int64, []int) {
+	distL := make([]int64, nLeft)  // best gain reaching each left vertex
+	distR := make([]int64, nRight) // best gain reaching each right vertex
+	prevR := filled(nRight, -1)    // left vertex preceding each right vertex
+	inQueue := make([]bool, nLeft)
+	for i := range distL {
+		distL[i] = -inf
+	}
+	for j := range distR {
+		distR[j] = -inf
+	}
+	var queue []int
+	for l := 0; l < nLeft; l++ {
+		if matchL[l] == -1 {
+			distL[l] = 0
+			queue = append(queue, l)
+			inQueue[l] = true
+		}
+	}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		inQueue[l] = false
+		for _, e := range adj[l] {
+			if matchL[l] == e.R {
+				continue // already matched along this edge
+			}
+			gain := distL[l] + e.W
+			if gain <= distR[e.R] {
+				continue
+			}
+			distR[e.R] = gain
+			prevR[e.R] = l
+			if ml := matchR[e.R]; ml != -1 {
+				// Continue the alternating path through the matched edge.
+				back := gain - weightOf(adj, ml, e.R)
+				if back > distL[ml] {
+					distL[ml] = back
+					if !inQueue[ml] {
+						queue = append(queue, ml)
+						inQueue[ml] = true
+					}
+				}
+			}
+		}
+	}
+
+	bestGain := int64(0)
+	bestR := -1
+	for r := 0; r < nRight; r++ {
+		if matchR[r] == -1 && distR[r] > bestGain {
+			bestGain = distR[r]
+			bestR = r
+		}
+	}
+	if bestR == -1 {
+		return 0, nil
+	}
+	// Reconstruct the alternating path backwards.
+	var rev []int
+	r := bestR
+	for {
+		l := prevR[r]
+		rev = append(rev, r, l)
+		if matchL[l] == -1 {
+			break
+		}
+		r = matchL[l]
+	}
+	// rev = [rK, lK, ..., r0, l0]; reverse into [l0, r0, ...].
+	path := make([]int, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return bestGain, path
+}
+
+func weightOf(adj [][]Edge, l, r int) int64 {
+	for _, e := range adj[l] {
+		if e.R == r {
+			return e.W
+		}
+	}
+	panic(fmt.Sprintf("matching: matched edge (%d,%d) not in graph", l, r))
+}
+
+// HopcroftKarp returns a maximum-cardinality matching of the bipartite
+// graph given as adjacency lists adj[l] = right neighbors of l.
+func HopcroftKarp(nLeft, nRight int, adj [][]int) Result {
+	res := Result{
+		MatchL: filled(nLeft, -1),
+		MatchR: filled(nRight, -1),
+	}
+	dist := make([]int, nLeft)
+	queueBuf := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue := queueBuf[:0]
+		for l := 0; l < nLeft; l++ {
+			if res.MatchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = -1
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			l := queue[0]
+			queue = queue[1:]
+			for _, r := range adj[l] {
+				ml := res.MatchR[r]
+				if ml == -1 {
+					found = true
+				} else if dist[ml] == -1 {
+					dist[ml] = dist[l] + 1
+					queue = append(queue, ml)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range adj[l] {
+			ml := res.MatchR[r]
+			if ml == -1 || (dist[ml] == dist[l]+1 && dfs(ml)) {
+				res.MatchL[l] = r
+				res.MatchR[r] = l
+				return true
+			}
+		}
+		dist[l] = -1
+		return false
+	}
+
+	for bfs() {
+		for l := 0; l < nLeft; l++ {
+			if res.MatchL[l] == -1 && dfs(l) {
+				res.Weight++
+			}
+		}
+	}
+	return res
+}
+
+// Cardinality returns the number of matched pairs in r.
+func (r Result) Cardinality() int {
+	n := 0
+	for _, m := range r.MatchL {
+		if m != -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks that the result is a matching consistent with the given
+// partition sizes: degree <= 1 on both sides and mirrored indices. It
+// returns an error describing the first inconsistency. Intended for
+// tests and the cmd/verify tool.
+func (r Result) Validate(nLeft, nRight int) error {
+	if len(r.MatchL) != nLeft || len(r.MatchR) != nRight {
+		return fmt.Errorf("matching: result sized %dx%d, want %dx%d", len(r.MatchL), len(r.MatchR), nLeft, nRight)
+	}
+	for l, m := range r.MatchL {
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= nRight {
+			return fmt.Errorf("matching: MatchL[%d]=%d out of range", l, m)
+		}
+		if r.MatchR[m] != l {
+			return fmt.Errorf("matching: MatchL[%d]=%d but MatchR[%d]=%d", l, m, m, r.MatchR[m])
+		}
+	}
+	for rt, m := range r.MatchR {
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= nLeft {
+			return fmt.Errorf("matching: MatchR[%d]=%d out of range", rt, m)
+		}
+		if r.MatchL[m] != rt {
+			return fmt.Errorf("matching: MatchR[%d]=%d but MatchL[%d]=%d", rt, m, m, r.MatchL[m])
+		}
+	}
+	return nil
+}
+
+func filled(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}

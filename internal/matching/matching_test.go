@@ -1,0 +1,300 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// bruteForceMaxWeight enumerates all matchings of a small instance and
+// returns the maximum total weight. Exponential; for oracles only.
+func bruteForceMaxWeight(nLeft, nRight int, edges []Edge) int64 {
+	best := make(map[[2]int]int64, len(edges))
+	for _, e := range edges {
+		k := [2]int{e.L, e.R}
+		if w, ok := best[k]; !ok || e.W > w {
+			best[k] = e.W
+		}
+	}
+	adj := make([][]Edge, nLeft)
+	for k, w := range best {
+		adj[k[0]] = append(adj[k[0]], Edge{L: k[0], R: k[1], W: w})
+	}
+	usedR := make([]bool, nRight)
+	var rec func(l int) int64
+	rec = func(l int) int64 {
+		if l == nLeft {
+			return 0
+		}
+		bestW := rec(l + 1) // leave l unmatched
+		for _, e := range adj[l] {
+			if !usedR[e.R] {
+				usedR[e.R] = true
+				if w := e.W + rec(l+1); w > bestW {
+					bestW = w
+				}
+				usedR[e.R] = false
+			}
+		}
+		return bestW
+	}
+	return rec(0)
+}
+
+func randomInstance(rng *xrand.RNG) (nL, nR int, edges []Edge) {
+	nL = 1 + rng.Intn(6)
+	nR = 1 + rng.Intn(7)
+	m := rng.Intn(nL*nR + 1)
+	for e := 0; e < m; e++ {
+		edges = append(edges, Edge{
+			L: rng.Intn(nL),
+			R: rng.Intn(nR),
+			W: int64(1 + rng.Intn(5)),
+		})
+	}
+	return nL, nR, edges
+}
+
+func TestMaxWeightAgainstBruteForce(t *testing.T) {
+	rng := xrand.New(4001)
+	for trial := 0; trial < 300; trial++ {
+		nL, nR, edges := randomInstance(rng)
+		want := bruteForceMaxWeight(nL, nR, edges)
+		got := MaxWeight(nL, nR, edges)
+		if got.Weight != want {
+			t.Fatalf("trial %d (%dx%d, %d edges): weight %d, want %d",
+				trial, nL, nR, len(edges), got.Weight, want)
+		}
+		if err := got.Validate(nL, nR); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestMaxWeightSSPAgainstBruteForce(t *testing.T) {
+	rng := xrand.New(4002)
+	for trial := 0; trial < 300; trial++ {
+		nL, nR, edges := randomInstance(rng)
+		want := bruteForceMaxWeight(nL, nR, edges)
+		got := MaxWeightSSP(nL, nR, edges)
+		if got.Weight != want {
+			t.Fatalf("trial %d (%dx%d, %d edges): weight %d, want %d",
+				trial, nL, nR, len(edges), got.Weight, want)
+		}
+		if err := got.Validate(nL, nR); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestMatchersAgree: both exact algorithms return identical weights on
+// larger random instances (where brute force is infeasible).
+func TestMatchersAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nL := 1 + rng.Intn(20)
+		nR := 1 + rng.Intn(40)
+		var edges []Edge
+		for e := 0; e < rng.Intn(nL*nR+1); e++ {
+			edges = append(edges, Edge{
+				L: rng.Intn(nL), R: rng.Intn(nR), W: int64(1 + rng.Intn(9)),
+			})
+		}
+		a := MaxWeight(nL, nR, edges)
+		b := MaxWeightSSP(nL, nR, edges)
+		return a.Weight == b.Weight &&
+			a.Validate(nL, nR) == nil && b.Validate(nL, nR) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchedEdgesExist: the matching only uses edges of the instance.
+func TestMatchedEdgesExist(t *testing.T) {
+	rng := xrand.New(4003)
+	for trial := 0; trial < 100; trial++ {
+		nL, nR, edges := randomInstance(rng)
+		exists := make(map[[2]int]bool)
+		for _, e := range edges {
+			exists[[2]int{e.L, e.R}] = true
+		}
+		for _, res := range []Result{MaxWeight(nL, nR, edges), MaxWeightSSP(nL, nR, edges)} {
+			for l, r := range res.MatchL {
+				if r != -1 && !exists[[2]int{l, r}] {
+					t.Fatalf("trial %d: matched non-edge (%d,%d)", trial, l, r)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxWeightEmpty(t *testing.T) {
+	for _, res := range []Result{
+		MaxWeight(0, 0, nil),
+		MaxWeight(3, 0, nil),
+		MaxWeight(0, 3, nil),
+		MaxWeight(2, 2, nil),
+		MaxWeightSSP(2, 2, nil),
+	} {
+		if res.Weight != 0 || res.Cardinality() != 0 {
+			t.Fatalf("empty instance: %+v", res)
+		}
+	}
+}
+
+func TestMaxWeightSingle(t *testing.T) {
+	res := MaxWeight(1, 1, []Edge{{0, 0, 7}})
+	if res.Weight != 7 || res.MatchL[0] != 0 || res.MatchR[0] != 0 {
+		t.Fatalf("single edge: %+v", res)
+	}
+}
+
+func TestMaxWeightParallelEdgesKeepHeaviest(t *testing.T) {
+	edges := []Edge{{0, 0, 2}, {0, 0, 5}, {0, 0, 1}}
+	if res := MaxWeight(1, 1, edges); res.Weight != 5 {
+		t.Fatalf("parallel edges: weight %d, want 5", res.Weight)
+	}
+	if res := MaxWeightSSP(1, 1, edges); res.Weight != 5 {
+		t.Fatalf("SSP parallel edges: weight %d, want 5", res.Weight)
+	}
+}
+
+// TestOldColorDominance mirrors the recoding weight scheme: one weight-3
+// edge must beat two weight-1 edges competing for the same color.
+func TestOldColorDominance(t *testing.T) {
+	// Left 0 has old color 0 (weight 3). Left 1 and 2 can only take
+	// color 0 (weight 1); left 0 could also take colors 1, 2.
+	edges := []Edge{
+		{0, 0, 3}, {0, 1, 1}, {0, 2, 1},
+		{1, 0, 1},
+		{2, 0, 1},
+	}
+	res := MaxWeight(3, 3, edges)
+	if res.MatchL[0] != 0 {
+		t.Fatalf("weight-3 edge not taken: %v", res.MatchL)
+	}
+	// Weight = 3 (kept) + 0 (1 and 2 unmatched); alternative 1+1+1 = 3
+	// ties in weight but must not displace the kept edge... with equal
+	// weight either is maximum; the Hungarian resolves in favor of more
+	// matches only at equal weight. Verify weight is exactly 3 or 4:
+	// matching 0->1 (w1), 1->0 (w1) leaves 2 unmatched = 2 < 3.
+	// matching 0->0 (w3) = 3. matching 0->1(1),1->0(1),2->? none = 2.
+	if res.Weight != 3 {
+		t.Fatalf("weight = %d, want 3", res.Weight)
+	}
+}
+
+func TestHopcroftKarpKnown(t *testing.T) {
+	// Perfect matching on a 3x3 cycle-ish graph.
+	adj := [][]int{
+		{0, 1},
+		{1, 2},
+		{2, 0},
+	}
+	res := HopcroftKarp(3, 3, adj)
+	if res.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d, want 3", res.Cardinality())
+	}
+	if err := res.Validate(3, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopcroftKarpStar(t *testing.T) {
+	// All left vertices share one right vertex: cardinality 1.
+	adj := [][]int{{0}, {0}, {0}, {0}}
+	if res := HopcroftKarp(4, 1, adj); res.Cardinality() != 1 {
+		t.Fatalf("cardinality = %d, want 1", res.Cardinality())
+	}
+}
+
+// TestHopcroftKarpMatchesMaxWeightUnitWeights: with unit weights, max
+// weight equals max cardinality.
+func TestHopcroftKarpMatchesMaxWeightUnitWeights(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nL := 1 + rng.Intn(10)
+		nR := 1 + rng.Intn(10)
+		adj := make([][]int, nL)
+		var edges []Edge
+		seen := make(map[[2]int]bool)
+		for e := 0; e < rng.Intn(nL*nR+1); e++ {
+			l, r := rng.Intn(nL), rng.Intn(nR)
+			if seen[[2]int{l, r}] {
+				continue
+			}
+			seen[[2]int{l, r}] = true
+			adj[l] = append(adj[l], r)
+			edges = append(edges, Edge{L: l, R: r, W: 1})
+		}
+		hk := HopcroftKarp(nL, nR, adj)
+		mw := MaxWeight(nL, nR, edges)
+		return int64(hk.Cardinality()) == mw.Weight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	res := MaxWeight(2, 2, []Edge{{0, 0, 1}, {1, 1, 1}})
+	if err := res.Validate(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	res.MatchL[0] = 1 // now both left vertices claim right 1
+	if err := res.Validate(2, 2); err == nil {
+		t.Fatal("corrupted matching passed validation")
+	}
+	res2 := Result{MatchL: []int{5}, MatchR: []int{-1}}
+	if err := res2.Validate(1, 1); err == nil {
+		t.Fatal("out-of-range match passed validation")
+	}
+	res3 := Result{MatchL: []int{-1}}
+	if err := res3.Validate(1, 2); err == nil {
+		t.Fatal("size mismatch passed validation")
+	}
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	MaxWeight(1, 1, []Edge{{0, 0, -1}})
+}
+
+func TestOutOfRangeEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	MaxWeight(1, 1, []Edge{{0, 5, 1}})
+}
+
+// TestRectangularBothOrientations: more lefts than rights and vice versa.
+func TestRectangularBothOrientations(t *testing.T) {
+	// 4 lefts, 2 rights, complete bipartite unit weights: cardinality 2.
+	var edges []Edge
+	for l := 0; l < 4; l++ {
+		for r := 0; r < 2; r++ {
+			edges = append(edges, Edge{L: l, R: r, W: 1})
+		}
+	}
+	if res := MaxWeight(4, 2, edges); res.Weight != 2 {
+		t.Fatalf("4x2: weight %d, want 2", res.Weight)
+	}
+	// 2 lefts, 4 rights.
+	edges = edges[:0]
+	for l := 0; l < 2; l++ {
+		for r := 0; r < 4; r++ {
+			edges = append(edges, Edge{L: l, R: r, W: 1})
+		}
+	}
+	if res := MaxWeight(2, 4, edges); res.Weight != 2 {
+		t.Fatalf("2x4: weight %d, want 2", res.Weight)
+	}
+}

@@ -1,0 +1,135 @@
+// Package sim drives recoding strategies through event scripts and
+// snapshots the paper's two metrics (total recodings, maximum color
+// index) at phase boundaries. It is the glue between the workload
+// generators and the experiment harness.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bbb"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/strategy"
+	"repro/internal/toca"
+)
+
+// Snapshot captures cumulative metrics at a point in a simulation.
+type Snapshot struct {
+	TotalRecodings int
+	MaxColor       toca.Color
+	Nodes          int
+}
+
+// Session couples a strategy with metric accounting across script phases.
+type Session struct {
+	runner *strategy.Runner
+}
+
+// NewSession wraps s. When validate is set, CA1/CA2 are re-verified after
+// every event (slow; meant for tests and the verify tool).
+func NewSession(s strategy.Strategy, validate bool) *Session {
+	r := strategy.NewRunner(s)
+	r.Validate = validate
+	return &Session{runner: r}
+}
+
+// Strategy returns the wrapped strategy.
+func (s *Session) Strategy() strategy.Strategy { return s.runner.S }
+
+// Apply runs one phase of events.
+func (s *Session) Apply(events []strategy.Event) error {
+	return s.runner.ApplyAll(events)
+}
+
+// Snapshot reports the cumulative metrics so far.
+func (s *Session) Snapshot() Snapshot {
+	return Snapshot{
+		TotalRecodings: s.runner.M.TotalRecodings,
+		MaxColor:       s.runner.M.MaxColor,
+		Nodes:          s.runner.S.Network().Size(),
+	}
+}
+
+// StrategyName identifies one of the three competing strategies.
+type StrategyName string
+
+// The three strategies of the paper's evaluation, plus the strict-move
+// CP variant (the literal leave-then-join reading of [3], used by the
+// movement ablation).
+const (
+	Minim    StrategyName = "Minim"
+	CP       StrategyName = "CP"
+	BBB      StrategyName = "BBB"
+	CPStrict StrategyName = "CP-strict"
+)
+
+// AllStrategies lists the paper's three competitors in plot order.
+var AllStrategies = []StrategyName{Minim, CP, BBB}
+
+// NewStrategy constructs a fresh empty-network instance of the named
+// strategy.
+func NewStrategy(name StrategyName) (strategy.Strategy, error) {
+	switch name {
+	case Minim:
+		return core.New(), nil
+	case CP:
+		return cp.New(), nil
+	case CPStrict:
+		return cp.NewStrict(), nil
+	case BBB:
+		return bbb.New(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown strategy %q", name)
+	}
+}
+
+// PhaseResult reports the snapshots around a two-phase run.
+type PhaseResult struct {
+	Name      StrategyName
+	AfterBase Snapshot
+	Final     Snapshot
+}
+
+// DeltaRecodings is the paper's Δ(total number of recodings): recodings
+// attributable to the second phase.
+func (p PhaseResult) DeltaRecodings() int {
+	return p.Final.TotalRecodings - p.AfterBase.TotalRecodings
+}
+
+// DeltaMaxColor is the paper's Δ(max color index assigned).
+func (p PhaseResult) DeltaMaxColor() int {
+	return int(p.Final.MaxColor) - int(p.AfterBase.MaxColor)
+}
+
+// RunPhases drives a fresh instance of each named strategy through the
+// base script and then the phase script, reporting snapshots at both
+// boundaries. Every strategy sees the identical event sequence.
+func RunPhases(names []StrategyName, base, phase []strategy.Event, validate bool) ([]PhaseResult, error) {
+	results := make([]PhaseResult, 0, len(names))
+	for _, name := range names {
+		st, err := NewStrategy(name)
+		if err != nil {
+			return nil, err
+		}
+		sess := NewSession(st, validate)
+		if err := sess.Apply(base); err != nil {
+			return nil, fmt.Errorf("%s base phase: %w", name, err)
+		}
+		afterBase := sess.Snapshot()
+		if err := sess.Apply(phase); err != nil {
+			return nil, fmt.Errorf("%s second phase: %w", name, err)
+		}
+		results = append(results, PhaseResult{
+			Name:      name,
+			AfterBase: afterBase,
+			Final:     sess.Snapshot(),
+		})
+	}
+	return results, nil
+}
+
+// Run drives a single-phase script (base only) for each strategy.
+func Run(names []StrategyName, events []strategy.Event, validate bool) ([]PhaseResult, error) {
+	return RunPhases(names, events, nil, validate)
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/strategy"
+	"repro/internal/toca"
+	"repro/internal/workload"
+)
+
+func TestNewStrategy(t *testing.T) {
+	for _, name := range AllStrategies {
+		s, err := NewStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != string(name) {
+			t.Fatalf("Name = %q, want %q", s.Name(), name)
+		}
+	}
+	if _, err := NewStrategy("nope"); err == nil {
+		t.Fatal("unknown strategy did not error")
+	}
+}
+
+func TestRunSinglePhase(t *testing.T) {
+	p := workload.Defaults()
+	p.N = 30
+	events := workload.JoinScript(1, p)
+	results, err := Run(AllStrategies, events, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Final.Nodes != 30 {
+			t.Fatalf("%s: %d nodes", r.Name, r.Final.Nodes)
+		}
+		if r.Final.TotalRecodings < 30 {
+			t.Fatalf("%s: %d recodings < N", r.Name, r.Final.TotalRecodings)
+		}
+		if r.Final.MaxColor == toca.None {
+			t.Fatalf("%s: no colors assigned", r.Name)
+		}
+		// Single phase: base snapshot equals final.
+		if r.DeltaRecodings() != 0 || r.DeltaMaxColor() != 0 {
+			t.Fatalf("%s: non-zero deltas on single phase", r.Name)
+		}
+	}
+}
+
+func TestRunPhasesDeltas(t *testing.T) {
+	p := workload.Defaults()
+	p.N = 30
+	p.RaiseFactor = 3
+	base := workload.JoinScript(2, p)
+	phase := workload.PowerRaiseScript(2, p)
+	results, err := RunPhases(AllStrategies, base, phase, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Final.TotalRecodings < r.AfterBase.TotalRecodings {
+			t.Fatalf("%s: recodings decreased", r.Name)
+		}
+		if r.DeltaRecodings() != r.Final.TotalRecodings-r.AfterBase.TotalRecodings {
+			t.Fatalf("%s: delta arithmetic", r.Name)
+		}
+	}
+	// The paper's Fig 11 ordering: Minim recodes least in the raise
+	// phase, BBB most.
+	byName := map[StrategyName]PhaseResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if byName[Minim].DeltaRecodings() > byName[CP].DeltaRecodings() {
+		t.Fatalf("Minim Δrecodings %d > CP %d", byName[Minim].DeltaRecodings(), byName[CP].DeltaRecodings())
+	}
+	if byName[CP].DeltaRecodings() > byName[BBB].DeltaRecodings() {
+		t.Fatalf("CP Δrecodings %d > BBB %d", byName[CP].DeltaRecodings(), byName[BBB].DeltaRecodings())
+	}
+}
+
+func TestIdenticalScriptsAcrossStrategies(t *testing.T) {
+	// All strategies must end with identical topology (same events).
+	p := workload.Defaults()
+	p.N = 25
+	events := workload.JoinScript(5, p)
+	results, err := Run(AllStrategies, events, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results[1:] {
+		if r.Final.Nodes != results[0].Final.Nodes {
+			t.Fatalf("topologies diverged: %d vs %d", r.Final.Nodes, results[0].Final.Nodes)
+		}
+	}
+}
+
+func TestSessionErrorPropagates(t *testing.T) {
+	s, err := NewStrategy(Minim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(s, false)
+	// Leaving an absent node must surface the error.
+	if err := sess.Apply([]strategy.Event{strategy.LeaveEvent(99)}); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestRunPhasesUnknownStrategy(t *testing.T) {
+	if _, err := RunPhases([]StrategyName{"bogus"}, nil, nil, false); err == nil {
+		t.Fatal("unknown strategy did not error")
+	}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if !almost(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev = %g", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.CI95() != 0 {
+		t.Fatalf("empty = %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Stddev != 0 || s.CI95() != 0 {
+		t.Fatalf("single = %+v", s)
+	}
+	if s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("single min/max = %+v", s)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := xrand.New(1)
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range small {
+		small[i] = rng.Float64()
+	}
+	for i := range large {
+		large[i] = rng.Float64()
+	}
+	if Summarize(small).CI95() <= Summarize(large).CI95() {
+		t.Fatal("CI did not shrink with sample size")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	// Median must not mutate its input.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatal("median mutated input")
+	}
+}
+
+// TestAccumulatorMatchesBatch: Welford's online results equal the batch
+// computation on random samples.
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		var acc Accumulator
+		for i := range xs {
+			xs[i] = rng.Uniform(-100, 100)
+			acc.Add(xs[i])
+		}
+		batch := Summarize(xs)
+		online := acc.Summary()
+		return online.N == batch.N &&
+			almost(online.Mean, batch.Mean, 1e-9) &&
+			almost(online.Stddev, batch.Stddev, 1e-9) &&
+			online.Min == batch.Min && online.Max == batch.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	s := acc.Summary()
+	if s.N != 0 || s.Mean != 0 || s.Stddev != 0 {
+		t.Fatalf("empty accumulator = %+v", s)
+	}
+	if acc.N() != 0 {
+		t.Fatal("N")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "2.000") || !strings.Contains(str, "n=3") {
+		t.Fatalf("String = %q", str)
+	}
+}

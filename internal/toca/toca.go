@@ -1,0 +1,289 @@
+// Package toca implements the transmitter-oriented code assignment
+// (TOCA) constraint model of the paper's section 2.
+//
+// An assignment of positive integer codes ("colors") to nodes is valid
+// when it satisfies:
+//
+//	CA1 (primary):  for every edge (u, v), c_u != c_v
+//	CA2 (hidden):   for every pair of edges (u, w), (v, w) with u != v,
+//	                c_u != c_v
+//
+// Equivalently, the assignment is a proper coloring of the conflict graph
+// C(G) in which u ~ v iff u->v, v->u, or u and v share an out-neighbor.
+package toca
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Color is a CDMA code index. Valid codes are positive; None marks an
+// unassigned node.
+type Color int
+
+// None is the zero Color, meaning "no code assigned".
+const None Color = 0
+
+// Assignment maps nodes to codes.
+type Assignment map[graph.NodeID]Color
+
+// Clone returns a deep copy of a.
+func (a Assignment) Clone() Assignment {
+	c := make(Assignment, len(a))
+	for id, col := range a {
+		c[id] = col
+	}
+	return c
+}
+
+// MaxColor returns the largest color in use, or None for an empty or
+// fully unassigned map.
+func (a Assignment) MaxColor() Color {
+	max := None
+	for _, c := range a {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ColorCounts returns, for each color in use, the number of nodes holding
+// it. Unassigned nodes are skipped.
+func (a Assignment) ColorCounts() map[Color]int {
+	counts := make(map[Color]int)
+	for _, c := range a {
+		if c != None {
+			counts[c]++
+		}
+	}
+	return counts
+}
+
+// DiffCount returns the paper's "number of recodings" between two
+// snapshots: the number of nodes in after whose color differs from their
+// color in before, where a node absent from before counts as None. A node
+// receiving its first color therefore counts as one recoding (the paper
+// counts the joiner), while nodes that left the network do not.
+func DiffCount(before, after Assignment) int {
+	n := 0
+	for id, c := range after {
+		if before[id] != c {
+			n++
+		}
+	}
+	return n
+}
+
+// ViolationKind distinguishes CA1 from CA2 violations.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	Primary ViolationKind = iota + 1 // CA1: edge endpoints share a color
+	Hidden                           // CA2: two in-neighbors of a node share a color
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case Primary:
+		return "CA1"
+	case Hidden:
+		return "CA2"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// Violation describes a single constraint violation. For Primary, U->V is
+// the offending edge. For Hidden, U and V are distinct in-neighbors of
+// At sharing a color.
+type Violation struct {
+	Kind  ViolationKind
+	U, V  graph.NodeID
+	At    graph.NodeID // receiver where the collision occurs (Hidden only; equals V for Primary)
+	Color Color
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	if v.Kind == Primary {
+		return fmt.Sprintf("CA1: edge %d->%d both color %d", v.U, v.V, v.Color)
+	}
+	return fmt.Sprintf("CA2: in-neighbors %d,%d of %d both color %d", v.U, v.V, v.At, v.Color)
+}
+
+// Verify returns every CA1/CA2 violation of the assignment on g. Nodes
+// with no assigned color violate neither condition (they are treated as
+// silent). The result is deterministic (sorted by node IDs).
+func Verify(g *graph.Digraph, a Assignment) []Violation {
+	var out []Violation
+	for _, u := range g.Nodes() {
+		cu := a[u]
+		if cu == None {
+			continue
+		}
+		for _, v := range g.OutNeighbors(u) {
+			if a[v] == cu {
+				out = append(out, Violation{Kind: Primary, U: u, V: v, At: v, Color: cu})
+			}
+		}
+	}
+	for _, w := range g.Nodes() {
+		ins := g.InNeighbors(w)
+		for i := 0; i < len(ins); i++ {
+			ci := a[ins[i]]
+			if ci == None {
+				continue
+			}
+			for j := i + 1; j < len(ins); j++ {
+				if a[ins[j]] == ci {
+					out = append(out, Violation{Kind: Hidden, U: ins[i], V: ins[j], At: w, Color: ci})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Valid reports whether the assignment satisfies CA1 and CA2 on g.
+func Valid(g *graph.Digraph, a Assignment) bool {
+	return len(Verify(g, a)) == 0
+}
+
+// ConflictNeighbors returns the set of nodes whose color must differ from
+// u's under CA1/CA2: u's out-neighbors, u's in-neighbors, and every other
+// in-neighbor of each of u's out-neighbors ("co-transmitters").
+func ConflictNeighbors(g *graph.Digraph, u graph.NodeID) map[graph.NodeID]struct{} {
+	set := make(map[graph.NodeID]struct{})
+	g.ForEachOut(u, func(v graph.NodeID) {
+		set[v] = struct{}{} // CA1 on u->v
+		g.ForEachIn(v, func(x graph.NodeID) {
+			if x != u {
+				set[x] = struct{}{} // CA2 at v
+			}
+		})
+	})
+	g.ForEachIn(u, func(v graph.NodeID) {
+		set[v] = struct{}{} // CA1 on v->u
+	})
+	return set
+}
+
+// ConflictNeighborsSorted is ConflictNeighbors with a deterministic
+// sorted-slice result, for protocol messages and tests.
+func ConflictNeighborsSorted(g *graph.Digraph, u graph.NodeID) []graph.NodeID {
+	set := ConflictNeighbors(g, u)
+	out := make([]graph.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConflictGraph materializes C(G) as an undirected adjacency map. The
+// coloring heuristics (BBB substrate) color this graph directly.
+func ConflictGraph(g *graph.Digraph) map[graph.NodeID][]graph.NodeID {
+	adj := make(map[graph.NodeID][]graph.NodeID, g.NumNodes())
+	for _, u := range g.Nodes() {
+		set := ConflictNeighbors(g, u)
+		lst := make([]graph.NodeID, 0, len(set))
+		for id := range set {
+			lst = append(lst, id)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		adj[u] = lst
+	}
+	// Symmetrize: v in adj[u] must imply u in adj[v]. CA1 on a one-way
+	// edge u->v constrains both endpoints' colors mutually, and CA2 is
+	// symmetric by construction, so take the union.
+	for u, lst := range adj {
+		for _, v := range lst {
+			if !containsID(adj[v], u) {
+				adj[v] = insertSortedID(adj[v], u)
+			}
+		}
+	}
+	return adj
+}
+
+func containsID(s []graph.NodeID, id graph.NodeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}
+
+func insertSortedID(s []graph.NodeID, id graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// ColorSet is a set of colors, used for forbidden/constraint sets.
+type ColorSet map[Color]struct{}
+
+// Add inserts c (None is ignored).
+func (s ColorSet) Add(c Color) {
+	if c != None {
+		s[c] = struct{}{}
+	}
+}
+
+// Has reports whether c is in the set.
+func (s ColorSet) Has(c Color) bool {
+	_, ok := s[c]
+	return ok
+}
+
+// Max returns the largest color in the set, or None if empty.
+func (s ColorSet) Max() Color {
+	max := None
+	for c := range s {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Sorted returns the set's colors ascending.
+func (s ColorSet) Sorted() []Color {
+	out := make([]Color, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LowestFree returns the smallest positive color not in the set — the
+// "lowest available color" rule used by CP and RecodeOnPowIncrease.
+func (s ColorSet) LowestFree() Color {
+	for c := Color(1); ; c++ {
+		if !s.Has(c) {
+			return c
+		}
+	}
+}
+
+// Forbidden returns the colors node u may not take, considering only
+// constraining nodes outside the exclude set (whose colors are about to
+// be reassigned and therefore do not constrain u through their old
+// values). Pass a nil exclude map to consider every constraining node.
+func Forbidden(g *graph.Digraph, a Assignment, u graph.NodeID, exclude map[graph.NodeID]struct{}) ColorSet {
+	set := make(ColorSet)
+	for v := range ConflictNeighbors(g, u) {
+		if exclude != nil {
+			if _, skip := exclude[v]; skip {
+				continue
+			}
+		}
+		set.Add(a[v])
+	}
+	return set
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func sampleScript() []strategy.Event {
+	p := workload.Defaults()
+	p.N = 15
+	return workload.Churn(42, p, 40, workload.ChurnWeights{Join: 1, Leave: 1, Move: 2, Power: 1})
+}
+
+func TestRoundTrip(t *testing.T) {
+	events := sampleScript()
+	var buf bytes.Buffer
+	if err := Save(&buf, "sample", events); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "sample" {
+		t.Fatalf("name = %q", name)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("len = %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+// TestReplayEquivalence: replaying a saved trace produces the identical
+// simulation outcome as the original script.
+func TestReplayEquivalence(t *testing.T) {
+	events := sampleScript()
+	var buf bytes.Buffer
+	if err := Save(&buf, "replay", events); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := sim.Run(sim.AllStrategies, events, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := sim.Run(sim.AllStrategies, replayed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i].Final != replay[i].Final {
+			t.Fatalf("strategy %s: %+v != %+v", orig[i].Name, orig[i].Final, replay[i].Final)
+		}
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	in := `{"version": 99, "events": []}`
+	if _, _, err := Load(strings.NewReader(in)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestLoadRejectsUnknownKind(t *testing.T) {
+	in := `{"version": 1, "events": [{"kind": "teleport", "id": 1}]}`
+	if _, _, err := Load(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	in := `{"version": 1, "bogus": true, "events": []}`
+	if _, _, err := Load(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoadRejectsNegativeRanges(t *testing.T) {
+	for _, in := range []string{
+		`{"version": 1, "events": [{"kind": "join", "id": 1, "range": -5}]}`,
+		`{"version": 1, "events": [{"kind": "power", "id": 1, "range": -5}]}`,
+	} {
+		if _, _, err := Load(strings.NewReader(in)); err == nil {
+			t.Fatalf("negative range accepted: %s", in)
+		}
+	}
+}
+
+func TestSaveRejectsUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, "", []strategy.Event{{Kind: 99}}); err == nil {
+		t.Fatal("unknown kind saved")
+	}
+}
+
+func TestEmptyScript(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	name, events, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "empty" || len(events) != 0 {
+		t.Fatalf("got %q %v", name, events)
+	}
+}

@@ -1,0 +1,176 @@
+// Package workload generates the randomized event scripts of the paper's
+// section 5 evaluation:
+//
+//   - section 5.1: N consecutive joins with positions uniform over a
+//     100 x 100 arena and ranges uniform in (minr, maxr);
+//   - section 5.2: starting from such a network, a random half of the
+//     nodes raise their range by a factor of raisefactor;
+//   - section 5.3: RoundNo rounds in which every node moves once, in a
+//     uniformly random direction by a displacement uniform in
+//     [0, maxdisp], clamped to the arena.
+//
+// All generators are deterministic functions of an explicit seed so
+// experiments are reproducible and strategies can be compared on
+// identical event sequences.
+package workload
+
+import (
+	"repro/internal/adhoc"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/strategy"
+	"repro/internal/xrand"
+)
+
+// Params mirrors the paper's simulation parameters.
+type Params struct {
+	N           int     // number of stations
+	MinR, MaxR  float64 // transmission range interval (minr, maxr)
+	ArenaW      float64 // arena width (paper: 100)
+	ArenaH      float64 // arena height (paper: 100)
+	RaiseFactor float64 // section 5.2 range multiplier
+	MaxDisp     float64 // section 5.3 maximum displacement
+	RoundNo     int     // section 5.3 number of movement rounds
+}
+
+// Defaults returns the paper's base parameter set for section 5.1.
+func Defaults() Params {
+	return Params{
+		N:      100,
+		MinR:   20.5,
+		MaxR:   30.5,
+		ArenaW: 100,
+		ArenaH: 100,
+	}
+}
+
+// arena returns the configured rectangle.
+func (p Params) arena() geom.Rect { return geom.Arena(p.ArenaW, p.ArenaH) }
+
+// randomConfig draws a uniform node configuration.
+func randomConfig(rng *xrand.RNG, p Params) adhoc.Config {
+	return adhoc.Config{
+		Pos: geom.Point{
+			X: rng.Uniform(0, p.ArenaW),
+			Y: rng.Uniform(0, p.ArenaH),
+		},
+		Range: rng.Uniform(p.MinR, p.MaxR),
+	}
+}
+
+// JoinScript returns the section 5.1 workload: p.N consecutive joins with
+// node IDs 0..N-1.
+func JoinScript(seed uint64, p Params) []strategy.Event {
+	rng := xrand.New(seed)
+	events := make([]strategy.Event, 0, p.N)
+	for i := 0; i < p.N; i++ {
+		events = append(events, strategy.JoinEvent(graph.NodeID(i), randomConfig(rng, p)))
+	}
+	return events
+}
+
+// PowerRaiseScript returns the section 5.2 workload relative to a network
+// that already executed JoinScript(seed, p): a random half of the nodes,
+// in random order, raise their current range by p.RaiseFactor. The
+// current ranges are recomputed from the same seed so the script is
+// self-contained.
+func PowerRaiseScript(seed uint64, p Params) []strategy.Event {
+	rng := xrand.New(seed)
+	ranges := make([]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		cfg := randomConfig(rng, p) // replay the join draws
+		ranges[i] = cfg.Range
+	}
+	// Fresh stream for the selection, decorrelated from the join stream.
+	sel := rng.Split()
+	chosen := sel.Sample(p.N, p.N/2)
+	events := make([]strategy.Event, 0, len(chosen))
+	for _, idx := range chosen {
+		events = append(events, strategy.PowerEvent(graph.NodeID(idx), ranges[idx]*p.RaiseFactor))
+	}
+	return events
+}
+
+// MoveScript returns the section 5.3 workload relative to a network that
+// already executed JoinScript(seed, p): p.RoundNo rounds, each moving
+// every node once by a uniform displacement in [0, p.MaxDisp] in a
+// uniform direction, clamped to the arena. Positions are tracked so
+// consecutive rounds displace from the latest location.
+func MoveScript(seed uint64, p Params) []strategy.Event {
+	rng := xrand.New(seed)
+	pos := make([]geom.Point, p.N)
+	for i := 0; i < p.N; i++ {
+		cfg := randomConfig(rng, p) // replay the join draws
+		pos[i] = cfg.Pos
+	}
+	mv := rng.Split()
+	arena := p.arena()
+	events := make([]strategy.Event, 0, p.N*p.RoundNo)
+	for round := 0; round < p.RoundNo; round++ {
+		for i := 0; i < p.N; i++ {
+			d := geom.Polar(mv.Uniform(0, p.MaxDisp), mv.Angle())
+			pos[i] = arena.Clamp(pos[i].Add(d))
+			events = append(events, strategy.MoveEvent(graph.NodeID(i), pos[i]))
+		}
+	}
+	return events
+}
+
+// ChurnScript returns a mixed workload (not a paper experiment, used by
+// examples and robustness tests): a base of p.N joins followed by steps
+// random events drawn from joins, leaves, moves and power changes with
+// the given weights. Weights need not sum to 1; they are normalized.
+type ChurnWeights struct {
+	Join, Leave, Move, Power float64
+}
+
+// Churn generates the mixed script. Nodes that left may not return; new
+// joiners get fresh ascending IDs.
+func Churn(seed uint64, p Params, steps int, w ChurnWeights) []strategy.Event {
+	rng := xrand.New(seed)
+	events := JoinScript(seed, p)
+	rng = xrand.New(seed)
+	present := make([]graph.NodeID, 0, p.N)
+	ranges := make(map[graph.NodeID]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		cfg := randomConfig(rng, p)
+		present = append(present, graph.NodeID(i))
+		ranges[graph.NodeID(i)] = cfg.Range
+	}
+	mix := rng.Split()
+	next := p.N
+	total := w.Join + w.Leave + w.Move + w.Power
+	if total <= 0 {
+		return events
+	}
+	for s := 0; s < steps; s++ {
+		x := mix.Float64() * total
+		switch {
+		case x < w.Join || len(present) == 0:
+			id := graph.NodeID(next)
+			next++
+			cfg := randomConfig(mix, p)
+			ranges[id] = cfg.Range
+			present = append(present, id)
+			events = append(events, strategy.JoinEvent(id, cfg))
+		case x < w.Join+w.Leave:
+			i := mix.Intn(len(present))
+			id := present[i]
+			present = append(present[:i], present[i+1:]...)
+			delete(ranges, id)
+			events = append(events, strategy.LeaveEvent(id))
+		case x < w.Join+w.Leave+w.Move:
+			id := present[mix.Intn(len(present))]
+			events = append(events, strategy.MoveEvent(id, geom.Point{
+				X: mix.Uniform(0, p.ArenaW),
+				Y: mix.Uniform(0, p.ArenaH),
+			}))
+		default:
+			id := present[mix.Intn(len(present))]
+			f := mix.Uniform(0.5, 2.5)
+			ranges[id] *= f
+			events = append(events, strategy.PowerEvent(id, ranges[id]))
+		}
+	}
+	return events
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/strategy"
+)
+
+func TestJoinScriptShape(t *testing.T) {
+	p := Defaults()
+	p.N = 50
+	events := JoinScript(7, p)
+	if len(events) != 50 {
+		t.Fatalf("len = %d", len(events))
+	}
+	seen := make(map[graph.NodeID]bool)
+	for i, ev := range events {
+		if ev.Kind != strategy.Join {
+			t.Fatalf("event %d kind %v", i, ev.Kind)
+		}
+		if seen[ev.ID] {
+			t.Fatalf("duplicate id %d", ev.ID)
+		}
+		seen[ev.ID] = true
+		if ev.Cfg.Pos.X < 0 || ev.Cfg.Pos.X > p.ArenaW || ev.Cfg.Pos.Y < 0 || ev.Cfg.Pos.Y > p.ArenaH {
+			t.Fatalf("event %d position %v outside arena", i, ev.Cfg.Pos)
+		}
+		if ev.Cfg.Range < p.MinR || ev.Cfg.Range >= p.MaxR {
+			t.Fatalf("event %d range %g outside (%g,%g)", i, ev.Cfg.Range, p.MinR, p.MaxR)
+		}
+	}
+}
+
+func TestJoinScriptDeterministic(t *testing.T) {
+	p := Defaults()
+	a := JoinScript(42, p)
+	b := JoinScript(42, p)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	c := JoinScript(43, p)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+}
+
+func TestPowerRaiseScript(t *testing.T) {
+	p := Defaults()
+	p.RaiseFactor = 3
+	joins := JoinScript(9, p)
+	raises := PowerRaiseScript(9, p)
+	if len(raises) != p.N/2 {
+		t.Fatalf("raises = %d, want %d", len(raises), p.N/2)
+	}
+	ranges := make(map[graph.NodeID]float64)
+	for _, ev := range joins {
+		ranges[ev.ID] = ev.Cfg.Range
+	}
+	seen := make(map[graph.NodeID]bool)
+	for _, ev := range raises {
+		if ev.Kind != strategy.PowerChange {
+			t.Fatalf("kind %v", ev.Kind)
+		}
+		if seen[ev.ID] {
+			t.Fatalf("node %d raised twice", ev.ID)
+		}
+		seen[ev.ID] = true
+		want := ranges[ev.ID] * p.RaiseFactor
+		if diff := ev.R - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("node %d raised to %g, want %g", ev.ID, ev.R, want)
+		}
+	}
+}
+
+func TestMoveScriptShape(t *testing.T) {
+	p := Defaults()
+	p.N = 20
+	p.MaxDisp = 40
+	p.RoundNo = 3
+	moves := MoveScript(11, p)
+	if len(moves) != p.N*p.RoundNo {
+		t.Fatalf("moves = %d, want %d", len(moves), p.N*p.RoundNo)
+	}
+	joins := JoinScript(11, p)
+	prev := make(map[graph.NodeID][2]float64)
+	for _, ev := range joins {
+		prev[ev.ID] = [2]float64{ev.Cfg.Pos.X, ev.Cfg.Pos.Y}
+	}
+	for i, ev := range moves {
+		if ev.Kind != strategy.Move {
+			t.Fatalf("event %d kind %v", i, ev.Kind)
+		}
+		if ev.Pos.X < 0 || ev.Pos.X > p.ArenaW || ev.Pos.Y < 0 || ev.Pos.Y > p.ArenaH {
+			t.Fatalf("event %d pos %v outside arena", i, ev.Pos)
+		}
+		// Displacement from the tracked previous position is at most
+		// maxdisp (before clamping it is exact; clamping only shrinks).
+		p0 := prev[ev.ID]
+		dx, dy := ev.Pos.X-p0[0], ev.Pos.Y-p0[1]
+		if dx*dx+dy*dy > p.MaxDisp*p.MaxDisp+1e-6 {
+			t.Fatalf("event %d displacement %.2f > maxdisp", i, dx*dx+dy*dy)
+		}
+		prev[ev.ID] = [2]float64{ev.Pos.X, ev.Pos.Y}
+	}
+	// Each round moves every node exactly once.
+	counts := make(map[graph.NodeID]int)
+	for _, ev := range moves {
+		counts[ev.ID]++
+	}
+	for id, c := range counts {
+		if c != p.RoundNo {
+			t.Fatalf("node %d moved %d times, want %d", id, c, p.RoundNo)
+		}
+	}
+}
+
+func TestMoveScriptZeroDisp(t *testing.T) {
+	p := Defaults()
+	p.N = 10
+	p.MaxDisp = 0
+	p.RoundNo = 1
+	joins := JoinScript(3, p)
+	pos := make(map[graph.NodeID][2]float64)
+	for _, ev := range joins {
+		pos[ev.ID] = [2]float64{ev.Cfg.Pos.X, ev.Cfg.Pos.Y}
+	}
+	for _, ev := range MoveScript(3, p) {
+		p0 := pos[ev.ID]
+		if ev.Pos.X != p0[0] || ev.Pos.Y != p0[1] {
+			t.Fatalf("node %d moved with maxdisp=0", ev.ID)
+		}
+	}
+}
+
+func TestChurnScript(t *testing.T) {
+	p := Defaults()
+	p.N = 20
+	events := Churn(5, p, 100, ChurnWeights{Join: 1, Leave: 1, Move: 2, Power: 1})
+	if len(events) != p.N+100 {
+		t.Fatalf("len = %d, want %d", len(events), p.N+100)
+	}
+	// Replay the presence set: every event must reference a live node.
+	present := make(map[graph.NodeID]bool)
+	for i, ev := range events {
+		switch ev.Kind {
+		case strategy.Join:
+			if present[ev.ID] {
+				t.Fatalf("event %d: join of live node %d", i, ev.ID)
+			}
+			present[ev.ID] = true
+		case strategy.Leave:
+			if !present[ev.ID] {
+				t.Fatalf("event %d: leave of absent node %d", i, ev.ID)
+			}
+			delete(present, ev.ID)
+		case strategy.Move, strategy.PowerChange:
+			if !present[ev.ID] {
+				t.Fatalf("event %d: %v of absent node %d", i, ev.Kind, ev.ID)
+			}
+		}
+	}
+}
+
+func TestChurnZeroWeights(t *testing.T) {
+	p := Defaults()
+	p.N = 5
+	events := Churn(1, p, 50, ChurnWeights{})
+	if len(events) != 5 {
+		t.Fatalf("zero weights produced %d events, want base 5", len(events))
+	}
+}
