@@ -17,6 +17,7 @@ import (
 	bbbpkg "repro/internal/bbb"
 	"repro/internal/coloring"
 	"repro/internal/core"
+	cppkg "repro/internal/cp"
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/gossip"
@@ -106,6 +107,126 @@ func benchJoinEvent(b *testing.B, name sim.StrategyName, n int) {
 func BenchmarkJoinEventMinim100(b *testing.B) { benchJoinEvent(b, sim.Minim, 100) }
 func BenchmarkJoinEventCP100(b *testing.B)    { benchJoinEvent(b, sim.CP, 100) }
 func BenchmarkJoinEventBBB100(b *testing.B)   { benchJoinEvent(b, sim.BBB, 100) }
+
+// ---- n=1000 event benchmarks: indexed-by-default vs the scan path ----
+//
+// The base network is built once (1000 joins); each iteration then times
+// a single event. Join iterations are paired with an untimed leave so
+// the population stays at 1000. The *Scan variants run the identical
+// strategy over a NewScan network — the seed architecture's O(n)
+// candidate scans — so the indexed-by-default win is visible in the
+// BENCH trajectory.
+//
+// The arena is scaled to hold the paper's N=100-on-100x100 density at
+// N=1000 (side ~316): per-event recoding work stays local, so the
+// benchmark isolates the neighbor-discovery cost the grid removes. At
+// the paper's fixed arena, n=1000 is ~10x denser and the matching
+// dominates both paths.
+
+// bench1000Arena is the constant-density arena side for n=1000.
+const bench1000Arena = 316.0
+
+// bench1000Base returns a session over st with the 1000-node join base
+// applied.
+func bench1000Base(b *testing.B, st strategy.Strategy) *sim.Session {
+	b.Helper()
+	p := workload.Defaults()
+	p.N = 1000
+	p.ArenaW, p.ArenaH = bench1000Arena, bench1000Arena
+	sess := sim.NewSession(st, false)
+	if err := sess.Apply(workload.JoinScript(7, p)); err != nil {
+		b.Fatal(err)
+	}
+	return sess
+}
+
+func benchJoinEvent1000(b *testing.B, st strategy.Strategy) {
+	sess := bench1000Base(b, st)
+	rng := xrand.New(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := graph.NodeID(2000 + i)
+		cfg := adhoc.Config{
+			Pos:   geom.Point{X: rng.Uniform(0, bench1000Arena), Y: rng.Uniform(0, bench1000Arena)},
+			Range: rng.Uniform(20.5, 30.5),
+		}
+		if err := sess.Apply([]strategy.Event{strategy.JoinEvent(id, cfg)}); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := sess.Apply([]strategy.Event{strategy.LeaveEvent(id)}); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func benchMoveEvent1000(b *testing.B, st strategy.Strategy) {
+	sess := bench1000Base(b, st)
+	rng := xrand.New(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := graph.NodeID(rng.Intn(1000))
+		pos := geom.Point{X: rng.Uniform(0, bench1000Arena), Y: rng.Uniform(0, bench1000Arena)}
+		if err := sess.Apply([]strategy.Event{strategy.MoveEvent(id, pos)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func scanMinim() strategy.Strategy { return core.NewFrom(adhoc.NewScan(), make(toca.Assignment)) }
+func scanCP() strategy.Strategy    { return cppkg.NewFrom(adhoc.NewScan(), make(toca.Assignment)) }
+
+func BenchmarkJoinEventMinim1000(b *testing.B)     { benchJoinEvent1000(b, core.New()) }
+func BenchmarkJoinEventMinim1000Scan(b *testing.B) { benchJoinEvent1000(b, scanMinim()) }
+func BenchmarkJoinEventCP1000(b *testing.B)        { benchJoinEvent1000(b, cppkg.New()) }
+func BenchmarkJoinEventCP1000Scan(b *testing.B)    { benchJoinEvent1000(b, scanCP()) }
+func BenchmarkMoveEventMinim1000(b *testing.B)     { benchMoveEvent1000(b, core.New()) }
+func BenchmarkMoveEventMinim1000Scan(b *testing.B) { benchMoveEvent1000(b, scanMinim()) }
+
+// Network-layer n=1000 benches: the topology maintenance the engine
+// performs once per event for all subscribers — candidate discovery,
+// partition, digraph rewiring — without any recoding on top. This is
+// the layer the grid accelerates; the strategy benches above add the
+// per-strategy recoding cost (for Minim, the matching dominates).
+func benchNetworkEvent1000(b *testing.B, mk func() *adhoc.Network, move bool) {
+	p := workload.Defaults()
+	p.N = 1000
+	p.ArenaW, p.ArenaH = bench1000Arena, bench1000Arena
+	net := mk()
+	for _, ev := range workload.JoinScript(7, p) {
+		if err := net.Join(ev.ID, ev.Cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := xrand.New(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := geom.Point{X: rng.Uniform(0, bench1000Arena), Y: rng.Uniform(0, bench1000Arena)}
+		if move {
+			if err := net.Move(graph.NodeID(rng.Intn(1000)), pos); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		id := graph.NodeID(2000 + i)
+		cfg := adhoc.Config{Pos: pos, Range: rng.Uniform(20.5, 30.5)}
+		net.LocalPartitionFor(id, cfg) // what the engine decodes per join
+		if err := net.Join(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := net.Leave(id); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkNetworkJoin1000(b *testing.B)     { benchNetworkEvent1000(b, adhoc.New, false) }
+func BenchmarkNetworkJoin1000Scan(b *testing.B) { benchNetworkEvent1000(b, adhoc.NewScan, false) }
+func BenchmarkNetworkMove1000(b *testing.B)     { benchNetworkEvent1000(b, adhoc.New, true) }
+func BenchmarkNetworkMove1000Scan(b *testing.B) { benchNetworkEvent1000(b, adhoc.NewScan, true) }
 
 // ---- Ablation A1: matching edge weights ----
 

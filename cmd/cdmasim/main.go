@@ -75,18 +75,23 @@ func main() {
 		fmt.Printf("trace saved to %s\n", *saveTo)
 	}
 
-	st, err := sim.NewStrategy(sim.StrategyName(*strat))
+	// Host the strategy on the shared incremental network engine: the
+	// engine owns the one network replica, decodes each event once, and
+	// fans the delta out (here to a single subscriber; -strategy all
+	// would share the same decode across all three).
+	name := sim.StrategyName(*strat)
+	sess, err := sim.NewEngineSession([]sim.StrategyName{name}, true)
 	if err != nil {
 		fail(err)
 	}
-	sess := sim.NewSession(st, true)
+	st, _ := sess.StrategyOf(name)
 	if *verbose {
 		fmt.Printf("applying %d events to %s...\n", len(events), st.Name())
 	}
 	if err := sess.Apply(events); err != nil {
 		fail(err)
 	}
-	snap := sess.Snapshot()
+	snap, _ := sess.SnapshotOf(name)
 	fmt.Printf("strategy         : %s\n", st.Name())
 	fmt.Printf("events           : %d\n", len(events))
 	fmt.Printf("nodes            : %d\n", snap.Nodes)

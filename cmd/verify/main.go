@@ -182,6 +182,25 @@ func scenario(rng *xrand.RNG, events int) error {
 			if r.S == strategy.Strategy(minim) && ev.Kind == strategy.PowerChange && out.Recodings() > 1 {
 				return fmt.Errorf("step %d: Minim power change recoded %d > 1", step, out.Recodings())
 			}
+			// Locality (I5): every Minim join/move recoding is confined to
+			// the event node's 2-hop ball (recodings touch only 1n ∪ 2n ∪
+			// {n}). Served by the network's incremental 2-hop cache, which
+			// this loop also stress-tests against live invalidation.
+			if r.S == strategy.Strategy(minim) && (ev.Kind == strategy.Join || ev.Kind == strategy.Move) {
+				ball := make(map[graph.NodeID]struct{})
+				for _, u := range minim.Network().WithinTwoHops(ev.ID) {
+					ball[u] = struct{}{}
+				}
+				for id := range out.Recoded {
+					if id == ev.ID {
+						continue
+					}
+					if _, ok := ball[id]; !ok {
+						return fmt.Errorf("step %d (%v on %d): Minim recoded %d outside the 2-hop ball",
+							step, ev.Kind, ev.ID, id)
+					}
+				}
+			}
 		}
 	}
 

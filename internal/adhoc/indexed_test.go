@@ -16,7 +16,7 @@ import (
 func TestIndexedEquivalence(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := xrand.New(seed)
-		naive := New()
+		naive := NewScan()
 		indexed := NewIndexed(rng.Uniform(5, 35))
 		next := 0
 		var present []graph.NodeID
@@ -110,7 +110,7 @@ func TestNewIndexedPanicsOnBadCell(t *testing.T) {
 }
 
 func TestNaiveGridCellIsZero(t *testing.T) {
-	if New().gridCell() != 0 {
+	if NewScan().gridCell() != 0 {
 		t.Fatal("naive network reports a cell size")
 	}
 }
@@ -118,7 +118,7 @@ func TestNaiveGridCellIsZero(t *testing.T) {
 // TestIndexedMinimalConnectivity matches the naive result.
 func TestIndexedMinimalConnectivity(t *testing.T) {
 	rng := xrand.New(4)
-	naive := New()
+	naive := NewScan()
 	indexed := NewIndexed(25)
 	for i := 0; i < 30; i++ {
 		cfg := Config{

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/adhoc"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/strategy"
 	"repro/internal/toca"
@@ -95,17 +96,58 @@ type proposal struct {
 	newColors map[graph.NodeID]toca.Color
 }
 
-// Apply executes a script on the recoder, running each wave's proposals
-// concurrently across at most workers goroutines (values < 1 mean 1). It
-// returns the total number of recodings. The result is identical to
-// applying the script sequentially through the recoder.
+// Apply executes a script on a standalone recoder, running each wave's
+// proposals concurrently across at most workers goroutines (values < 1
+// mean 1). It returns the total number of recodings. The result is
+// identical to applying the script sequentially through the recoder.
+//
+// Internally the recoder's network is adopted by a private engine for
+// the duration of the script, so all topology changes flow through the
+// engine's decode-once Step and are event-sourced in its log.
 func Apply(r *core.Recoder, events []strategy.Event, workers int) (int, error) {
+	if r.Shared() {
+		// An engine-hosted recoder's network belongs to that engine;
+		// adopting it here would mutate topology behind the owner's back
+		// (its log and co-subscribers would silently diverge). Route
+		// through ApplyEngine with the owning engine instead.
+		return 0, fmt.Errorf("batch: recoder is engine-hosted; use ApplyEngine with its engine")
+	}
+	eng := engine.Adopt(r.Network())
+	return run(eng, r, events, workers, 0)
+}
+
+// ApplyEngine executes a script on an engine that hosts rec as its
+// single Minim subscriber: barrier events fan out through the engine as
+// usual, and independent join waves are proposed in parallel against the
+// engine's read-view and committed via CommitPrepared. It errors if the
+// engine hosts any other subscriber (they would miss the wave commits).
+func ApplyEngine(eng *engine.Engine, rec *core.Recoder, events []strategy.Event, workers int) (int, error) {
+	subs := eng.Subscribers()
+	if len(subs) != 1 {
+		return 0, fmt.Errorf("batch: engine hosts %d subscribers, want exactly the recoder", len(subs))
+	}
+	if s, ok := subs[0].(*core.Recoder); !ok || s != rec {
+		return 0, fmt.Errorf("batch: engine's subscriber is not the given recoder")
+	}
+	return run(eng, rec, events, workers, 1)
+}
+
+// run plans the script into waves and executes them: barriers and
+// singleton waves go through Step + the recoder's OnDelta; multi-join
+// waves are proposed in parallel and committed through the engine.
+func run(eng *engine.Engine, r *core.Recoder, events []strategy.Event, workers, allowSubs int) (int, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	// rmax must bound the ranges currently present plus the script's:
+	// use the exact current maximum (one O(n) scan per script), not the
+	// network's monotone-ever bound — after a large-range node leaves,
+	// the monotone bound would permanently inflate the interference
+	// radius and serialize genuinely independent joins.
+	net := eng.Network()
 	rmax := 0.0
-	for _, id := range r.Network().Nodes() {
-		if cfg, ok := r.Network().Config(id); ok && cfg.Range > rmax {
+	for _, id := range net.Nodes() {
+		if cfg, ok := net.Config(id); ok && cfg.Range > rmax {
 			rmax = cfg.Range
 		}
 	}
@@ -125,14 +167,18 @@ func Apply(r *core.Recoder, events []strategy.Event, workers int) (int, error) {
 	recodings := 0
 	for _, w := range waves {
 		if w.Barrier || len(w.Events) == 1 {
-			out, err := r.Apply(w.Events[0])
+			d, err := eng.CommitPrepared(w.Events[0], allowSubs)
+			if err != nil {
+				return recodings, err
+			}
+			out, err := r.OnDelta(d)
 			if err != nil {
 				return recodings, err
 			}
 			recodings += out.Recodings()
 			continue
 		}
-		n, err := applyWave(r, w.Events, workers)
+		n, err := applyWave(eng, r, w.Events, workers, allowSubs)
 		if err != nil {
 			return recodings, err
 		}
@@ -142,9 +188,9 @@ func Apply(r *core.Recoder, events []strategy.Event, workers int) (int, error) {
 }
 
 // applyWave computes every join's proposal against the pre-wave state in
-// parallel, then commits them.
-func applyWave(r *core.Recoder, joins []strategy.Event, workers int) (int, error) {
-	net := r.Network()
+// parallel, then commits them through the engine.
+func applyWave(eng *engine.Engine, r *core.Recoder, joins []strategy.Event, workers, allowSubs int) (int, error) {
+	net := eng.Network()
 	assign := r.Assignment()
 
 	proposals := make([]proposal, len(joins))
@@ -167,11 +213,12 @@ func applyWave(r *core.Recoder, joins []strategy.Event, workers int) (int, error
 		}
 	}
 
-	// Commit: physical join plus the precomputed colors. Disjointness
-	// guarantees no two proposals touch the same node.
+	// Commit: physical join (through the engine, so the event is logged)
+	// plus the precomputed colors. Disjointness guarantees no two
+	// proposals touch the same node.
 	recodings := 0
 	for _, p := range proposals {
-		if err := net.Join(p.ev.ID, p.ev.Cfg); err != nil {
+		if _, err := eng.CommitPrepared(p.ev, allowSubs); err != nil {
 			return recodings, err
 		}
 		for id, c := range p.newColors {
@@ -191,7 +238,7 @@ func propose(net *adhoc.Network, assign toca.Assignment, ev strategy.Event) (pro
 	if net.Has(ev.ID) {
 		return proposal{}, fmt.Errorf("batch: node %d already joined", ev.ID)
 	}
-	part := net.PartitionFor(ev.ID, ev.Cfg)
+	part := net.LocalPartitionFor(ev.ID, ev.Cfg)
 	inOrBoth := part.InOrBoth()
 	v1 := append(append([]graph.NodeID{}, inOrBoth...), ev.ID)
 	excl := make(map[graph.NodeID]struct{}, len(v1))

@@ -1,0 +1,91 @@
+package batch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/toca"
+)
+
+// TestApplyEngineMatchesSequential: the engine-hosted batch path equals
+// a sequential engine-hosted run event for event, and the engine log
+// records the whole script.
+func TestApplyEngineMatchesSequential(t *testing.T) {
+	events := sparseJoins(31, 60, 900)
+
+	// Sequential reference: one engine, one shared Minim, event by event.
+	seqEng := engine.New()
+	seqRec := core.NewShared(seqEng.Network())
+	seqEng.Subscribe(seqRec)
+	seqRecodings := 0
+	for _, ev := range events {
+		outs, err := seqEng.Apply(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRecodings += outs[0].Recodings()
+	}
+
+	// Batched: same wiring, waves committed through CommitPrepared.
+	parEng := engine.New()
+	parRec := core.NewShared(parEng.Network())
+	parEng.Subscribe(parRec)
+	recodings, err := ApplyEngine(parEng, parRec, events, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(seqRec.Assignment(), parRec.Assignment()) {
+		t.Fatal("batched engine assignment diverges from sequential")
+	}
+	if !reflect.DeepEqual(seqEng.Network().Graph().Edges(), parEng.Network().Graph().Edges()) {
+		t.Fatal("batched engine digraph diverges from sequential")
+	}
+	if parEng.Seq() != len(events) {
+		t.Fatalf("engine log has %d events, want %d", parEng.Seq(), len(events))
+	}
+	if recodings != seqRecodings {
+		t.Fatalf("batched recodings = %d, sequential %d", recodings, seqRecodings)
+	}
+	if !toca.Valid(parEng.Network().Graph(), parRec.Assignment()) {
+		t.Fatal("batched assignment invalid")
+	}
+}
+
+// TestApplyEngineGuards: ApplyEngine insists on exactly the given
+// recoder as the engine's single subscriber.
+func TestApplyEngineGuards(t *testing.T) {
+	eng := engine.New()
+	rec := core.NewShared(eng.Network())
+	if _, err := ApplyEngine(eng, rec, nil, 1); err == nil {
+		t.Fatal("unsubscribed recoder accepted")
+	}
+	eng.Subscribe(rec)
+	other := core.NewShared(eng.Network())
+	if _, err := ApplyEngine(eng, other, nil, 1); err == nil {
+		t.Fatal("wrong recoder accepted")
+	}
+	eng.Subscribe(core.NewShared(eng.Network()))
+	if _, err := ApplyEngine(eng, rec, nil, 1); err == nil {
+		t.Fatal("second subscriber accepted")
+	}
+}
+
+// TestApplyLogsThroughEngine: the standalone Apply path also
+// event-sources its script (the recoder's network is adopted by a
+// private engine).
+func TestApplyLogsThroughEngine(t *testing.T) {
+	r := core.New()
+	events := sparseJoins(7, 20, 600)
+	if _, err := Apply(r, events, 4); err != nil {
+		t.Fatal(err)
+	}
+	if r.Network().Size() != 20 {
+		t.Fatalf("network has %d nodes, want 20", r.Network().Size())
+	}
+	if !toca.Valid(r.Network().Graph(), r.Assignment()) {
+		t.Fatal("assignment invalid after engine-adopted batch apply")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/adhoc"
 	"repro/internal/coloring"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/strategy"
@@ -26,14 +27,19 @@ import (
 // Colorer recolors a conflict graph from scratch; the default is DSATUR.
 type Colorer func(coloring.Adjacency) toca.Assignment
 
-// Strategy is the BBB centralized recoloring baseline.
+// Strategy is the BBB centralized recoloring baseline. A standalone
+// instance (New, NewFrom) owns its network; a shared instance
+// (NewShared) reads an engine-owned network and is driven through
+// OnDelta.
 type Strategy struct {
 	net     *adhoc.Network
 	assign  toca.Assignment
 	colorer Colorer
+	shared  bool // network is engine-owned; Apply must not mutate it
 }
 
 var _ strategy.Strategy = (*Strategy)(nil)
+var _ engine.Subscriber = (*Strategy)(nil)
 
 // New returns a BBB recoder over an empty network using DSATUR.
 func New() *Strategy {
@@ -54,6 +60,13 @@ func NewFrom(net *adhoc.Network, assign toca.Assignment) *Strategy {
 	return &Strategy{net: net, assign: assign, colorer: coloring.DSATUR}
 }
 
+// NewShared returns a BBB recoder reading an engine-owned network. It
+// never mutates the topology; subscribe it to the owning engine and
+// drive it through OnDelta.
+func NewShared(net *adhoc.Network) *Strategy {
+	return &Strategy{net: net, assign: make(toca.Assignment), colorer: coloring.DSATUR, shared: true}
+}
+
 // Name implements strategy.Strategy.
 func (s *Strategy) Name() string { return "BBB" }
 
@@ -63,25 +76,25 @@ func (s *Strategy) Network() *adhoc.Network { return s.net }
 // Assignment implements strategy.Strategy.
 func (s *Strategy) Assignment() toca.Assignment { return s.assign }
 
-// Apply implements strategy.Strategy: update the topology, then recolor
-// the whole network centrally.
+// Apply implements strategy.Strategy: update the topology (via the
+// shared engine decoder), then recolor the whole network centrally.
+// Shared instances are driven by their engine and reject direct Apply.
 func (s *Strategy) Apply(ev strategy.Event) (strategy.Outcome, error) {
-	var err error
-	switch ev.Kind {
-	case strategy.Join:
-		err = s.net.Join(ev.ID, ev.Cfg)
-	case strategy.Leave:
-		err = s.net.Leave(ev.ID)
-		delete(s.assign, ev.ID)
-	case strategy.Move:
-		err = s.net.Move(ev.ID, ev.Pos)
-	case strategy.PowerChange:
-		err = s.net.SetRange(ev.ID, ev.R)
-	default:
-		err = fmt.Errorf("bbb: unknown event kind %v", ev.Kind)
+	if s.shared {
+		return strategy.Outcome{}, fmt.Errorf("bbb: strategy is engine-hosted; apply events through the engine")
 	}
+	d, err := engine.Step(s.net, ev)
 	if err != nil {
 		return strategy.Outcome{}, err
+	}
+	return s.OnDelta(d)
+}
+
+// OnDelta implements engine.Subscriber: recolor the whole network
+// centrally, whatever the event was.
+func (s *Strategy) OnDelta(d engine.Delta) (strategy.Outcome, error) {
+	if d.Event.Kind == strategy.Leave {
+		delete(s.assign, d.Event.ID)
 	}
 	return s.recolorAll(), nil
 }
@@ -107,9 +120,11 @@ func (s *Strategy) SetRange(id graph.NodeID, r float64) (strategy.Outcome, error
 }
 
 // recolorAll runs DSATUR over the current conflict graph and reports
-// every changed node as recoded.
+// every changed node as recoded. The conflict graph comes from the
+// network's incremental per-node cache: between events only the dirty
+// ball around the event node is recomputed.
 func (s *Strategy) recolorAll() strategy.Outcome {
-	adj := coloring.Adjacency(toca.ConflictGraph(s.net.Graph()))
+	adj := coloring.Adjacency(s.net.ConflictGraph())
 	fresh := s.colorer(adj)
 	recoded := make(map[graph.NodeID]toca.Color)
 	for id, c := range fresh {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/adhoc"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/matching"
@@ -41,14 +42,19 @@ const (
 	weightNew int64 = 1
 )
 
-// Recoder is the Minim strategy: an ad-hoc network replica plus a TOCA
-// assignment maintained minimally under reconfiguration events.
+// Recoder is the Minim strategy: an ad-hoc network view plus a TOCA
+// assignment maintained minimally under reconfiguration events. A
+// standalone recoder (New, NewFrom) owns its network and decodes events
+// itself via engine.Step; a shared recoder (NewShared) reads an
+// engine-owned network and is driven through OnDelta.
 type Recoder struct {
 	net    *adhoc.Network
 	assign toca.Assignment
+	shared bool // network is engine-owned; Apply must not mutate it
 }
 
 var _ strategy.Strategy = (*Recoder)(nil)
+var _ engine.Subscriber = (*Recoder)(nil)
 
 // New returns a Minim recoder over an empty network.
 func New() *Recoder {
@@ -61,8 +67,19 @@ func NewFrom(net *adhoc.Network, assign toca.Assignment) *Recoder {
 	return &Recoder{net: net, assign: assign}
 }
 
+// NewShared returns a Minim recoder reading an engine-owned network. It
+// never mutates the topology; subscribe it to the owning engine and
+// drive it through OnDelta.
+func NewShared(net *adhoc.Network) *Recoder {
+	return &Recoder{net: net, assign: make(toca.Assignment), shared: true}
+}
+
 // Name implements strategy.Strategy.
 func (r *Recoder) Name() string { return "Minim" }
+
+// Shared reports whether the recoder's network is engine-owned (the
+// recoder must then be driven through OnDelta, never standalone).
+func (r *Recoder) Shared() bool { return r.shared }
 
 // Network implements strategy.Strategy.
 func (r *Recoder) Network() *adhoc.Network { return r.net }
@@ -70,65 +87,74 @@ func (r *Recoder) Network() *adhoc.Network { return r.net }
 // Assignment implements strategy.Strategy.
 func (r *Recoder) Assignment() toca.Assignment { return r.assign }
 
-// Apply implements strategy.Strategy by dispatching to the per-event
-// recoding algorithms.
+// Apply implements strategy.Strategy: decode the event on the recoder's
+// own network (via the shared engine decoder), then run the recoding.
+// Shared recoders are driven by their engine and reject direct Apply.
 func (r *Recoder) Apply(ev strategy.Event) (strategy.Outcome, error) {
-	switch ev.Kind {
-	case strategy.Join:
-		return r.Join(ev.ID, ev.Cfg)
+	if r.shared {
+		return strategy.Outcome{}, fmt.Errorf("core: recoder is engine-hosted; apply events through the engine")
+	}
+	d, err := engine.Step(r.net, ev)
+	if err != nil {
+		return strategy.Outcome{}, err
+	}
+	return r.OnDelta(d)
+}
+
+// OnDelta implements engine.Subscriber: the per-event recoding
+// algorithms, operating on an already-updated topology.
+func (r *Recoder) OnDelta(d engine.Delta) (strategy.Outcome, error) {
+	switch d.Event.Kind {
+	case strategy.Join, strategy.Move:
+		// RecodeOnJoin (Fig 3) / RecodeOnMove (Fig 8): the join-style
+		// matching recoding over the partition at the (new) position
+		// (Theorem 4.4.1: move ≡ leave + join). The mover's old color
+		// participates as a weight-3 edge, so it keeps its code whenever
+		// the matching can afford it — matching the paper's Fig 9
+		// example, where the moving node retains its color.
+		recoded := r.recodeLocal(d.Event.ID, d.Part.InOrBoth())
+		return r.outcome(recoded), nil
 	case strategy.Leave:
-		return r.Leave(ev.ID)
-	case strategy.Move:
-		return r.Move(ev.ID, ev.Pos)
+		// RecodeDecreasePowOrLeave: nobody is recoded (Theorem 4.3.3:
+		// removals introduce no conflicts).
+		delete(r.assign, d.Event.ID)
+		return r.outcome(nil), nil
 	case strategy.PowerChange:
-		return r.SetRange(ev.ID, ev.R)
+		if !d.Increase {
+			// Power decrease only removes edges; the old assignment stays
+			// valid and zero nodes are recoded (Theorem 4.3.3).
+			return r.outcome(nil), nil
+		}
+		// Power increase (Fig 5): every new constraint involves the node
+		// itself (section 4.2), so recoding it alone suffices — and only
+		// if its current color now conflicts.
+		id := d.Event.ID
+		forb := toca.Forbidden(r.net.Graph(), r.assign, id, nil)
+		cur := r.assign[id]
+		if cur != toca.None && !forb.Has(cur) {
+			return r.outcome(nil), nil
+		}
+		c := forb.LowestFree()
+		r.assign[id] = c
+		return r.outcome(map[graph.NodeID]toca.Color{id: c}), nil
 	default:
-		return strategy.Outcome{}, fmt.Errorf("core: unknown event kind %v", ev.Kind)
+		return strategy.Outcome{}, fmt.Errorf("core: unknown event kind %v", d.Event.Kind)
 	}
 }
 
 // Join executes RecodeOnJoin (paper Fig 3) for a new node.
 func (r *Recoder) Join(id graph.NodeID, cfg adhoc.Config) (strategy.Outcome, error) {
-	if r.net.Has(id) {
-		return strategy.Outcome{}, fmt.Errorf("core: node %d already joined", id)
-	}
-	part := r.net.PartitionFor(id, cfg)
-	if err := r.net.Join(id, cfg); err != nil {
-		return strategy.Outcome{}, err
-	}
-	recoded := r.recodeLocal(id, part.InOrBoth())
-	return r.outcome(recoded), nil
+	return r.Apply(strategy.JoinEvent(id, cfg))
 }
 
-// Leave executes RecodeDecreasePowOrLeave for a departing node: the node
-// is removed and nobody is recoded (Theorem 4.3.3: removals introduce no
-// conflicts).
+// Leave executes RecodeDecreasePowOrLeave for a departing node.
 func (r *Recoder) Leave(id graph.NodeID) (strategy.Outcome, error) {
-	if err := r.net.Leave(id); err != nil {
-		return strategy.Outcome{}, err
-	}
-	delete(r.assign, id)
-	return r.outcome(nil), nil
+	return r.Apply(strategy.LeaveEvent(id))
 }
 
-// Move executes RecodeOnMove (paper Fig 8): the node is relocated and the
-// join-style matching recoding runs over the partition at the new
-// position (Theorem 4.4.1: move ≡ leave + join). The mover's old color
-// participates as a weight-3 edge, so it keeps its code whenever the
-// matching can afford it — matching the paper's Fig 9 example, where the
-// moving node retains its color.
+// Move executes RecodeOnMove (paper Fig 8) as one event.
 func (r *Recoder) Move(id graph.NodeID, pos geom.Point) (strategy.Outcome, error) {
-	cfg, ok := r.net.Config(id)
-	if !ok {
-		return strategy.Outcome{}, fmt.Errorf("core: node %d not in network", id)
-	}
-	cfg.Pos = pos
-	part := r.net.PartitionFor(id, cfg) // partition at the destination, excluding id
-	if err := r.net.Move(id, pos); err != nil {
-		return strategy.Outcome{}, err
-	}
-	recoded := r.recodeLocal(id, part.InOrBoth())
-	return r.outcome(recoded), nil
+	return r.Apply(strategy.MoveEvent(id, pos))
 }
 
 // recodeLocal runs steps 1-6 of RecodeOnJoin/RecodeOnMove for node n
@@ -136,8 +162,6 @@ func (r *Recoder) Move(id graph.NodeID, pos geom.Point) (strategy.Outcome, error
 // the network *after* the topology change). It mutates the assignment and
 // returns the recoded set.
 func (r *Recoder) recodeLocal(n graph.NodeID, inOrBoth []graph.NodeID) map[graph.NodeID]toca.Color {
-	g := r.net.Graph()
-
 	// V1 = 1n ∪ 2n ∪ {n}, in deterministic order with n last.
 	v1 := make([]graph.NodeID, 0, len(inOrBoth)+1)
 	v1 = append(v1, inOrBoth...)
@@ -151,7 +175,7 @@ func (r *Recoder) recodeLocal(n graph.NodeID, inOrBoth []graph.NodeID) map[graph
 	old := make(map[graph.NodeID]toca.Color, len(v1))
 	forb := make(map[graph.NodeID]toca.ColorSet, len(v1))
 	for _, u := range v1 {
-		forb[u] = toca.Forbidden(g, r.assign, u, excl)
+		forb[u] = toca.Forbidden(r.net.Graph(), r.assign, u, excl)
 		old[u] = r.assign[u]
 	}
 
@@ -233,30 +257,7 @@ func SolveWeighted(v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[
 // RecodeOnPowIncrease (paper Fig 5) for increases and the passive
 // RecodeDecreasePowOrLeave for decreases.
 func (r *Recoder) SetRange(id graph.NodeID, newRange float64) (strategy.Outcome, error) {
-	cfg, ok := r.net.Config(id)
-	if !ok {
-		return strategy.Outcome{}, fmt.Errorf("core: node %d not in network", id)
-	}
-	increase := newRange > cfg.Range
-	if err := r.net.SetRange(id, newRange); err != nil {
-		return strategy.Outcome{}, err
-	}
-	if !increase {
-		// Power decrease only removes edges; the old assignment stays
-		// valid and zero nodes are recoded (Theorem 4.3.3).
-		return r.outcome(nil), nil
-	}
-	// Power increase: every new constraint involves id itself (section
-	// 4.2), so recoding id alone suffices — and only if its current color
-	// now conflicts.
-	forb := toca.Forbidden(r.net.Graph(), r.assign, id, nil)
-	cur := r.assign[id]
-	if cur != toca.None && !forb.Has(cur) {
-		return r.outcome(nil), nil
-	}
-	c := forb.LowestFree()
-	r.assign[id] = c
-	return r.outcome(map[graph.NodeID]toca.Color{id: c}), nil
+	return r.Apply(strategy.PowerEvent(id, newRange))
 }
 
 func (r *Recoder) outcome(recoded map[graph.NodeID]toca.Color) strategy.Outcome {

@@ -24,16 +24,21 @@ import (
 	"sort"
 
 	"repro/internal/adhoc"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/strategy"
 	"repro/internal/toca"
 )
 
-// Strategy is the CP baseline recoder.
+// Strategy is the CP baseline recoder. A standalone instance (New,
+// NewFrom) owns its network and decodes events itself via engine.Step; a
+// shared instance (NewShared) reads an engine-owned network and is
+// driven through OnDelta.
 type Strategy struct {
 	net    *adhoc.Network
 	assign toca.Assignment
+	shared bool // network is engine-owned; Apply must not mutate it
 	// StrictMove selects the literal reading of [3]'s movement handling:
 	// the mover leaves (dropping its code) and rejoins as a fresh node,
 	// so its re-selection always counts as a recoding. The default
@@ -43,6 +48,7 @@ type Strategy struct {
 }
 
 var _ strategy.Strategy = (*Strategy)(nil)
+var _ engine.Subscriber = (*Strategy)(nil)
 
 // New returns a CP recoder over an empty network.
 func New() *Strategy {
@@ -63,6 +69,20 @@ func NewFrom(net *adhoc.Network, assign toca.Assignment) *Strategy {
 	return &Strategy{net: net, assign: assign}
 }
 
+// NewShared returns a CP recoder reading an engine-owned network. It
+// never mutates the topology; subscribe it to the owning engine and
+// drive it through OnDelta.
+func NewShared(net *adhoc.Network) *Strategy {
+	return &Strategy{net: net, assign: make(toca.Assignment), shared: true}
+}
+
+// NewSharedStrict is NewShared with the strict movement reading.
+func NewSharedStrict(net *adhoc.Network) *Strategy {
+	s := NewShared(net)
+	s.StrictMove = true
+	return s
+}
+
 // Name implements strategy.Strategy.
 func (s *Strategy) Name() string {
 	if s.StrictMove {
@@ -77,102 +97,95 @@ func (s *Strategy) Network() *adhoc.Network { return s.net }
 // Assignment implements strategy.Strategy.
 func (s *Strategy) Assignment() toca.Assignment { return s.assign }
 
-// Apply implements strategy.Strategy.
+// Apply implements strategy.Strategy: decode the event on the
+// strategy's own network (via the shared engine decoder), then run the
+// CP re-selection. Shared instances are driven by their engine and
+// reject direct Apply.
 func (s *Strategy) Apply(ev strategy.Event) (strategy.Outcome, error) {
-	switch ev.Kind {
+	if s.shared {
+		return strategy.Outcome{}, fmt.Errorf("cp: strategy is engine-hosted; apply events through the engine")
+	}
+	d, err := engine.Step(s.net, ev)
+	if err != nil {
+		return strategy.Outcome{}, err
+	}
+	return s.OnDelta(d)
+}
+
+// OnDelta implements engine.Subscriber: the CP recoding rules, operating
+// on an already-updated topology.
+func (s *Strategy) OnDelta(d engine.Delta) (strategy.Outcome, error) {
+	id := d.Event.ID
+	switch d.Event.Kind {
 	case strategy.Join:
-		return s.Join(ev.ID, ev.Cfg)
+		// The joiner plus all duplicated-color in-neighbors re-select
+		// colors highest-identity-first.
+		recoded := s.reselect(append(duplicatedColorNodes(s.assign, d.Part.InOrBoth()), id))
+		return s.outcome(recoded), nil
 	case strategy.Leave:
-		return s.Leave(ev.ID)
-	case strategy.Move:
-		return s.Move(ev.ID, ev.Pos)
-	case strategy.PowerChange:
-		return s.SetRange(ev.ID, ev.R)
-	default:
-		return strategy.Outcome{}, fmt.Errorf("cp: unknown event kind %v", ev.Kind)
-	}
-}
-
-// Join handles a node joining: the joiner plus all duplicated-color
-// in-neighbors re-select colors highest-identity-first.
-func (s *Strategy) Join(id graph.NodeID, cfg adhoc.Config) (strategy.Outcome, error) {
-	if s.net.Has(id) {
-		return strategy.Outcome{}, fmt.Errorf("cp: node %d already joined", id)
-	}
-	part := s.net.PartitionFor(id, cfg)
-	if err := s.net.Join(id, cfg); err != nil {
-		return strategy.Outcome{}, err
-	}
-	recoded := s.reselect(append(duplicatedColorNodes(s.assign, part.InOrBoth()), id))
-	return s.outcome(recoded), nil
-}
-
-// Leave handles a departing node: neighbors merely update constraint
-// state; nobody recodes.
-func (s *Strategy) Leave(id graph.NodeID) (strategy.Outcome, error) {
-	if err := s.net.Leave(id); err != nil {
-		return strategy.Outcome{}, err
-	}
-	delete(s.assign, id)
-	return s.outcome(nil), nil
-}
-
-// Move handles movement as a leave-then-join pair (the CP formulation):
-// the mover keeps its old color as a candidate and re-selects together
-// with any duplicated-color in-neighbors at the destination.
-func (s *Strategy) Move(id graph.NodeID, pos geom.Point) (strategy.Outcome, error) {
-	cfg, ok := s.net.Config(id)
-	if !ok {
-		return strategy.Outcome{}, fmt.Errorf("cp: node %d not in network", id)
-	}
-	cfg.Pos = pos
-	part := s.net.PartitionFor(id, cfg)
-	if err := s.net.Move(id, pos); err != nil {
-		return strategy.Outcome{}, err
-	}
-	if s.StrictMove {
-		// Literal leave+join: the mover's code is relinquished before the
-		// re-selection, so whatever it picks is a fresh assignment.
+		// Neighbors merely update constraint state; nobody recodes.
 		delete(s.assign, id)
+		return s.outcome(nil), nil
+	case strategy.Move:
+		// Movement is a leave-then-join pair (the CP formulation): the
+		// mover keeps its old color as a candidate and re-selects
+		// together with any duplicated-color in-neighbors at the
+		// destination.
+		if s.StrictMove {
+			// Literal leave+join: the mover's code is relinquished before
+			// the re-selection, so whatever it picks is a fresh
+			// assignment.
+			delete(s.assign, id)
+		}
+		recoded := s.reselect(append(duplicatedColorNodes(s.assign, d.Part.InOrBoth()), id))
+		return s.outcome(recoded), nil
+	case strategy.PowerChange:
+		// Decreases recode nobody. For an increase by n, every node with
+		// a *new* constraint against n holding n's color re-selects,
+		// along with n itself (the paper's section 4.2 description of
+		// the CP extension).
+		if !d.Increase {
+			return s.outcome(nil), nil
+		}
+		myColor := s.assign[id]
+		var group []graph.NodeID
+		for u := range d.ConflictAfter {
+			if _, old := d.ConflictBefore[u]; old {
+				continue // constraint existed before the increase
+			}
+			if s.assign[u] == myColor && myColor != toca.None {
+				group = append(group, u)
+			}
+		}
+		if len(group) == 0 {
+			// No conflicts: even n keeps its color (nothing to fix).
+			return s.outcome(nil), nil
+		}
+		recoded := s.reselect(append(group, id))
+		return s.outcome(recoded), nil
+	default:
+		return strategy.Outcome{}, fmt.Errorf("cp: unknown event kind %v", d.Event.Kind)
 	}
-	recoded := s.reselect(append(duplicatedColorNodes(s.assign, part.InOrBoth()), id))
-	return s.outcome(recoded), nil
 }
 
-// SetRange handles a power change. Decreases recode nobody. For an
-// increase by n, every node with a *new* constraint against n holding
-// n's color re-selects, along with n itself (the paper's section 4.2
-// description of the CP extension).
+// Join handles a node joining.
+func (s *Strategy) Join(id graph.NodeID, cfg adhoc.Config) (strategy.Outcome, error) {
+	return s.Apply(strategy.JoinEvent(id, cfg))
+}
+
+// Leave handles a departing node.
+func (s *Strategy) Leave(id graph.NodeID) (strategy.Outcome, error) {
+	return s.Apply(strategy.LeaveEvent(id))
+}
+
+// Move handles movement as a leave-then-join pair (the CP formulation).
+func (s *Strategy) Move(id graph.NodeID, pos geom.Point) (strategy.Outcome, error) {
+	return s.Apply(strategy.MoveEvent(id, pos))
+}
+
+// SetRange handles a power change.
 func (s *Strategy) SetRange(id graph.NodeID, newRange float64) (strategy.Outcome, error) {
-	cfg, ok := s.net.Config(id)
-	if !ok {
-		return strategy.Outcome{}, fmt.Errorf("cp: node %d not in network", id)
-	}
-	increase := newRange > cfg.Range
-	before := toca.ConflictNeighbors(s.net.Graph(), id)
-	if err := s.net.SetRange(id, newRange); err != nil {
-		return strategy.Outcome{}, err
-	}
-	if !increase {
-		return s.outcome(nil), nil
-	}
-	after := toca.ConflictNeighbors(s.net.Graph(), id)
-	myColor := s.assign[id]
-	var group []graph.NodeID
-	for u := range after {
-		if _, old := before[u]; old {
-			continue // constraint existed before the increase
-		}
-		if s.assign[u] == myColor && myColor != toca.None {
-			group = append(group, u)
-		}
-	}
-	if len(group) == 0 {
-		// No conflicts: even n keeps its color (nothing to fix).
-		return s.outcome(nil), nil
-	}
-	recoded := s.reselect(append(group, id))
-	return s.outcome(recoded), nil
+	return s.Apply(strategy.PowerEvent(id, newRange))
 }
 
 // duplicatedColorNodes returns every node of ids whose old color is held
@@ -199,7 +212,6 @@ func duplicatedColorNodes(assign toca.Assignment, ids []graph.NodeID) []graph.No
 // any constraint neighbor outside the still-undecided remainder of the
 // group. It returns the nodes whose color actually changed.
 func (s *Strategy) reselect(group []graph.NodeID) map[graph.NodeID]toca.Color {
-	g := s.net.Graph()
 	// Decreasing identity order; duplicates removed defensively.
 	seen := make(map[graph.NodeID]struct{}, len(group))
 	order := group[:0]
@@ -218,7 +230,7 @@ func (s *Strategy) reselect(group []graph.NodeID) map[graph.NodeID]toca.Color {
 	recoded := make(map[graph.NodeID]toca.Color)
 	for _, u := range order {
 		delete(undecided, u) // u now decides; its pick constrains later members
-		forbidden := toca.Forbidden(g, s.assign, u, undecided)
+		forbidden := toca.Forbidden(s.net.Graph(), s.assign, u, undecided)
 		old := s.assign[u]
 		// The node's own stale entry must not forbid re-selecting itself;
 		// Forbidden only consults neighbors, so no correction is needed —

@@ -1,0 +1,404 @@
+// Package dist is the distributed message-passing runtime for the
+// paper's join protocols: the sequential RecodeOnJoin (Minim) and the
+// CP selection rule, executed as explicit message exchanges between
+// node actors over a simulated delivery engine.
+//
+// The runtime exists for two claims the repository checks:
+//
+//   - Protocol equivalence (cmd/verify I8): for any base network and
+//     joiner, the distributed Minim and CP joins assign exactly the
+//     colors the sequential algorithms assign. Both protocols gather
+//     their inputs (partition membership, old colors, externally
+//     forbidden colors) through messages, then apply the identical
+//     decision procedures (core.Solve, lowest-free selection), so
+//     equality holds by construction and is re-verified at runtime.
+//   - Message locality (experiments.FigM1): the number of messages a
+//     join exchanges tracks the joiner's neighborhood size (node
+//     density), not the network size N — the protocols are local.
+//
+// Only joins are distributed here; the other events follow the same
+// pattern and are a follow-on (see ROADMAP.md).
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adhoc"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/toca"
+	"repro/internal/xrand"
+)
+
+// message is one in-flight protocol message. The handler runs when the
+// engine delivers it; From/To/Kind exist for tracing and accounting.
+type message struct {
+	From, To graph.NodeID
+	Kind     string
+	handler  func()
+}
+
+// Engine is the FIFO delivery engine: messages are delivered in send
+// order, one at a time (the sequential-consistency setting of the
+// paper's protocol arguments). Delivered counts every delivery across
+// the runtime's lifetime.
+type Engine struct {
+	queue     []message
+	Delivered int
+}
+
+// send enqueues a message for later delivery.
+func (e *Engine) send(m message) { e.queue = append(e.queue, m) }
+
+// Pending returns the number of undelivered messages.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run delivers queued messages (including ones enqueued by handlers run
+// along the way) until the queue drains. It errors if more than limit
+// deliveries are needed — a guard against protocol livelock.
+func (e *Engine) Run(limit int) error {
+	for n := 0; len(e.queue) > 0; n++ {
+		if n >= limit {
+			return fmt.Errorf("dist: message limit %d exceeded with %d still queued", limit, len(e.queue))
+		}
+		m := e.queue[0]
+		e.queue = e.queue[1:]
+		e.Delivered++
+		m.handler()
+	}
+	return nil
+}
+
+// Node is one protocol actor: a network member holding its own code.
+type Node struct {
+	id    graph.NodeID
+	color toca.Color
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() graph.NodeID { return n.id }
+
+// Color returns the node's current code.
+func (n *Node) Color() toca.Color { return n.color }
+
+// Runtime hosts the actors over a shared network model. The network is
+// adopted, not copied: StartJoin performs the physical join on it (the
+// radio-level fact the protocol then reacts to).
+type Runtime struct {
+	Net    *adhoc.Network
+	Engine *Engine
+	nodes  map[graph.NodeID]*Node
+	rng    *xrand.RNG
+}
+
+// NewRuntime wraps an existing network and assignment: every current
+// member becomes an actor holding its assigned code. The seed feeds
+// future nondeterministic delivery orders; the default engine is FIFO
+// and deterministic.
+func NewRuntime(seed uint64, net *adhoc.Network, assign toca.Assignment) *Runtime {
+	rt := &Runtime{
+		Net:    net,
+		Engine: &Engine{},
+		nodes:  make(map[graph.NodeID]*Node, net.Size()),
+		rng:    xrand.New(seed),
+	}
+	for _, id := range net.Nodes() {
+		rt.nodes[id] = &Node{id: id, color: assign[id]}
+	}
+	return rt
+}
+
+// Node returns the actor for id, or nil if absent.
+func (rt *Runtime) Node(id graph.NodeID) *Node { return rt.nodes[id] }
+
+// Assignment collects every actor's current code into an assignment
+// snapshot (unassigned actors are skipped, matching toca semantics).
+func (rt *Runtime) Assignment() toca.Assignment {
+	a := make(toca.Assignment, len(rt.nodes))
+	for id, n := range rt.nodes {
+		if n.color != toca.None {
+			a[id] = n.color
+		}
+	}
+	return a
+}
+
+// StartJoin performs the physical join of a new node and enqueues the
+// distributed recoding protocol for it: "minim" runs the matching-based
+// RecodeOnJoin, "cp" the CP highest-identity-first selection. Drive the
+// engine (Engine.Run) to completion afterwards.
+func (rt *Runtime) StartJoin(id graph.NodeID, cfg adhoc.Config, proto string) error {
+	if rt.Net.Has(id) {
+		return fmt.Errorf("dist: node %d already in network", id)
+	}
+	part := rt.Net.LocalPartitionFor(id, cfg)
+	if err := rt.Net.Join(id, cfg); err != nil {
+		return err
+	}
+	joiner := &Node{id: id}
+	rt.nodes[id] = joiner
+	switch proto {
+	case "minim":
+		rt.startMinimJoin(joiner, part)
+	case "cp":
+		rt.startCPJoin(joiner, part)
+	default:
+		return fmt.Errorf("dist: unknown protocol %q", proto)
+	}
+	return nil
+}
+
+// conflictOutside returns u's CA1/CA2 conflict neighbors not in excl,
+// ascending — the peers whose colors constrain u.
+func (rt *Runtime) conflictOutside(u graph.NodeID, excl map[graph.NodeID]struct{}) []graph.NodeID {
+	var out []graph.NodeID
+	for v := range rt.Net.ConflictNeighbors(u) {
+		if _, skip := excl[v]; !skip {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---- Minim join protocol ----
+//
+// The joiner coordinates (it is the node with fresh knowledge of the
+// event, matching the paper's protocol sketch):
+//
+//  1. collect:   joiner -> each member of V1 = 1n ∪ 2n ∪ {n}
+//  2. color?/!:  each member <-> its conflict neighbors outside V1
+//  3. report:    member -> joiner (old color + forbidden set)
+//  4. assign:    joiner -> members whose code changes
+//
+// Step 2 happens entirely before any assignment changes, so the
+// gathered inputs equal the sequential recodeLocal's, and core.Solve
+// returns the identical coloring.
+
+// minimJoin is the coordinator state for one Minim join.
+type minimJoin struct {
+	rt      *Runtime
+	joiner  *Node
+	v1      []graph.NodeID
+	excl    map[graph.NodeID]struct{}
+	old     map[graph.NodeID]toca.Color
+	forb    map[graph.NodeID]toca.ColorSet
+	pending int
+}
+
+func (rt *Runtime) startMinimJoin(joiner *Node, part adhoc.Partition) {
+	st := &minimJoin{
+		rt:     rt,
+		joiner: joiner,
+		v1:     append(part.InOrBoth(), joiner.id),
+		old:    make(map[graph.NodeID]toca.Color),
+		forb:   make(map[graph.NodeID]toca.ColorSet),
+	}
+	st.excl = make(map[graph.NodeID]struct{}, len(st.v1))
+	for _, u := range st.v1 {
+		st.excl[u] = struct{}{}
+	}
+	st.pending = len(st.v1)
+	for _, u := range st.v1 {
+		u := u
+		if u == joiner.id {
+			// The coordinator gathers its own constraints without a
+			// self-addressed collect message.
+			st.gather(u)
+			continue
+		}
+		rt.Engine.send(message{From: joiner.id, To: u, Kind: "collect", handler: func() {
+			st.gather(u)
+		}})
+	}
+}
+
+// gather runs member u's side of the collect phase: query every
+// conflict neighbor outside V1 for its color, then report to the
+// coordinator.
+func (st *minimJoin) gather(u graph.NodeID) {
+	rt := st.rt
+	peers := rt.conflictOutside(u, st.excl)
+	forb := make(toca.ColorSet)
+	replies := len(peers)
+	if replies == 0 {
+		st.report(u, forb)
+		return
+	}
+	for _, v := range peers {
+		v := v
+		rt.Engine.send(message{From: u, To: v, Kind: "color?", handler: func() {
+			c := rt.nodes[v].color
+			rt.Engine.send(message{From: v, To: u, Kind: "color!", handler: func() {
+				forb.Add(c)
+				replies--
+				if replies == 0 {
+					st.report(u, forb)
+				}
+			}})
+		}})
+	}
+}
+
+// report delivers u's (old color, forbidden set) to the coordinator and,
+// once every member reported, solves and distributes the new coloring.
+func (st *minimJoin) report(u graph.NodeID, forb toca.ColorSet) {
+	rt := st.rt
+	finish := func() {
+		st.old[u] = rt.nodes[u].color
+		st.forb[u] = forb
+		st.pending--
+		if st.pending > 0 {
+			return
+		}
+		newColors := core.Solve(st.v1, st.old, st.forb)
+		for _, w := range st.v1 {
+			w, c := w, newColors[w]
+			if c == rt.nodes[w].color {
+				continue
+			}
+			if w == st.joiner.id {
+				st.joiner.color = c
+				continue
+			}
+			rt.Engine.send(message{From: st.joiner.id, To: w, Kind: "assign", handler: func() {
+				rt.nodes[w].color = c
+			}})
+		}
+	}
+	if u == st.joiner.id {
+		finish() // coordinator-local, no message
+		return
+	}
+	rt.Engine.send(message{From: u, To: st.joiner.id, Kind: "report", handler: finish})
+}
+
+// ---- CP join protocol ----
+//
+// The joiner coordinates a token pass over the re-selection group:
+//
+//  1. color?/!: joiner <-> each member of 1n ∪ 2n (discover colors)
+//  2. token:    joiner -> highest-identity undecided member
+//  3. color?/!: token holder <-> conflict neighbors outside the
+//     still-undecided remainder
+//  4. done:     token holder -> joiner; repeat from 2
+//
+// Each holder picks the lowest color its decided constraints allow —
+// the CP rule — and earlier holders' picks are visible to later ones
+// through fresh color queries, exactly as in cp.reselect.
+
+// cpJoin is the coordinator state for one CP join.
+type cpJoin struct {
+	rt      *Runtime
+	joiner  *Node
+	members []graph.NodeID // 1n ∪ 2n, pending discovery
+	colors  map[graph.NodeID]toca.Color
+	order   []graph.NodeID // re-selection group, decreasing identity
+	next    int
+}
+
+func (rt *Runtime) startCPJoin(joiner *Node, part adhoc.Partition) {
+	st := &cpJoin{
+		rt:      rt,
+		joiner:  joiner,
+		members: part.InOrBoth(),
+		colors:  make(map[graph.NodeID]toca.Color),
+	}
+	if len(st.members) == 0 {
+		st.buildGroup()
+		return
+	}
+	replies := len(st.members)
+	for _, u := range st.members {
+		u := u
+		rt.Engine.send(message{From: joiner.id, To: u, Kind: "color?", handler: func() {
+			c := rt.nodes[u].color
+			rt.Engine.send(message{From: u, To: joiner.id, Kind: "color!", handler: func() {
+				st.colors[u] = c
+				replies--
+				if replies == 0 {
+					st.buildGroup()
+				}
+			}})
+		}})
+	}
+}
+
+// buildGroup computes the duplicated-color re-selection group plus the
+// joiner, highest identity first, and starts the token pass.
+func (st *cpJoin) buildGroup() {
+	counts := make(map[toca.Color]int)
+	for _, u := range st.members {
+		if c := st.colors[u]; c != toca.None {
+			counts[c]++
+		}
+	}
+	seen := make(map[graph.NodeID]struct{})
+	for _, u := range st.members {
+		if c := st.colors[u]; c != toca.None && counts[c] >= 2 {
+			if _, dup := seen[u]; !dup {
+				seen[u] = struct{}{}
+				st.order = append(st.order, u)
+			}
+		}
+	}
+	st.order = append(st.order, st.joiner.id)
+	sort.Slice(st.order, func(i, j int) bool { return st.order[i] > st.order[j] })
+	st.advance()
+}
+
+// advance hands the token to the next undecided member (or finishes).
+func (st *cpJoin) advance() {
+	if st.next >= len(st.order) {
+		return
+	}
+	u := st.order[st.next]
+	st.next++
+	undecided := make(map[graph.NodeID]struct{}, len(st.order)-st.next)
+	for _, w := range st.order[st.next:] {
+		undecided[w] = struct{}{}
+	}
+	if u == st.joiner.id {
+		st.selectColor(u, undecided) // coordinator holds the token itself
+		return
+	}
+	st.rt.Engine.send(message{From: st.joiner.id, To: u, Kind: "token", handler: func() {
+		st.selectColor(u, undecided)
+	}})
+}
+
+// selectColor runs the token holder's lowest-free selection: query every
+// conflict neighbor outside the undecided remainder, pick, and yield the
+// token.
+func (st *cpJoin) selectColor(u graph.NodeID, undecided map[graph.NodeID]struct{}) {
+	rt := st.rt
+	peers := rt.conflictOutside(u, undecided)
+	forb := make(toca.ColorSet)
+	decide := func() {
+		rt.nodes[u].color = forb.LowestFree()
+		if u == st.joiner.id {
+			st.advance() // coordinator-local, no done message
+			return
+		}
+		rt.Engine.send(message{From: u, To: st.joiner.id, Kind: "done", handler: st.advance})
+	}
+	replies := len(peers)
+	if replies == 0 {
+		decide()
+		return
+	}
+	for _, v := range peers {
+		v := v
+		rt.Engine.send(message{From: u, To: v, Kind: "color?", handler: func() {
+			c := rt.nodes[v].color
+			rt.Engine.send(message{From: v, To: u, Kind: "color!", handler: func() {
+				forb.Add(c)
+				replies--
+				if replies == 0 {
+					decide()
+				}
+			}})
+		}})
+	}
+}

@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adhoc"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/toca"
+	"repro/internal/xrand"
+)
+
+// buildBase joins n random nodes through a sequential Minim recoder and
+// returns it.
+func buildBase(rng *xrand.RNG, n int, arena float64) *core.Recoder {
+	r := core.New()
+	for i := 0; i < n; i++ {
+		cfg := adhoc.Config{
+			Pos:   geom.Point{X: rng.Uniform(0, arena), Y: rng.Uniform(0, arena)},
+			Range: rng.Uniform(15, 30),
+		}
+		if _, err := r.Join(graph.NodeID(i), cfg); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// TestProtocolParity: for random base networks and joiners, the
+// distributed minim and cp join protocols assign exactly the colors the
+// sequential algorithms assign, and the result is CA1/CA2 valid.
+func TestProtocolParity(t *testing.T) {
+	rng := xrand.New(5)
+	for it := 0; it < 30; it++ {
+		n := 5 + rng.Intn(30)
+		base := buildBase(rng, n, 100)
+		joiner := graph.NodeID(n + 1)
+		cfg := adhoc.Config{
+			Pos:   geom.Point{X: rng.Uniform(0, 100), Y: rng.Uniform(0, 100)},
+			Range: rng.Uniform(15, 30),
+		}
+		for _, proto := range []string{"minim", "cp"} {
+			var want toca.Assignment
+			switch proto {
+			case "minim":
+				seq := core.NewFrom(base.Network().Clone(), base.Assignment().Clone())
+				if _, err := seq.Join(joiner, cfg); err != nil {
+					t.Fatal(err)
+				}
+				want = seq.Assignment()
+			case "cp":
+				seq := cp.NewFrom(base.Network().Clone(), base.Assignment().Clone())
+				if _, err := seq.Join(joiner, cfg); err != nil {
+					t.Fatal(err)
+				}
+				want = seq.Assignment()
+			}
+			rt := NewRuntime(rng.Uint64(), base.Network().Clone(), base.Assignment().Clone())
+			if err := rt.StartJoin(joiner, cfg, proto); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Engine.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			got := rt.Assignment()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("it %d proto %s: dist %v, seq %v", it, proto, got, want)
+			}
+			if !toca.Valid(rt.Net.Graph(), got) {
+				t.Fatalf("it %d proto %s: invalid distributed assignment", it, proto)
+			}
+			if rt.Node(joiner) == nil || rt.Node(joiner).Color() == toca.None {
+				t.Fatalf("it %d proto %s: joiner has no color", it, proto)
+			}
+		}
+	}
+}
+
+// TestMessageLocality: on a constant-density arena, messages per join
+// stay within a constant factor as N quadruples — the protocols are
+// local, not global.
+func TestMessageLocality(t *testing.T) {
+	perJoin := func(n int) float64 {
+		side := 100.0 // constant density: area ∝ N
+		if n > 25 {
+			side = 200.0 // 4x area for 4x nodes
+		}
+		rng := xrand.New(uint64(n))
+		total := 0.0
+		const trials = 8
+		for trial := 0; trial < trials; trial++ {
+			base := buildBase(rng, n, side)
+			rt := NewRuntime(rng.Uint64(), base.Network(), base.Assignment())
+			joiner := graph.NodeID(n + 1)
+			cfg := adhoc.Config{
+				Pos:   geom.Point{X: rng.Uniform(0, side), Y: rng.Uniform(0, side)},
+				Range: rng.Uniform(15, 30),
+			}
+			if err := rt.StartJoin(joiner, cfg, "minim"); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Engine.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			total += float64(rt.Engine.Delivered)
+		}
+		return total / trials
+	}
+	small := perJoin(25)
+	large := perJoin(100)
+	if small <= 0 {
+		t.Fatal("no messages exchanged")
+	}
+	if large > 4*small+40 {
+		t.Fatalf("messages per join grew superlinearly with N at constant density: N=25 -> %.1f, N=100 -> %.1f", small, large)
+	}
+}
+
+// TestRunLimit: a too-small delivery budget errors instead of spinning.
+func TestRunLimit(t *testing.T) {
+	rng := xrand.New(3)
+	base := buildBase(rng, 20, 60)
+	rt := NewRuntime(1, base.Network(), base.Assignment())
+	if err := rt.StartJoin(99, adhoc.Config{Pos: geom.Point{X: 30, Y: 30}, Range: 25}, "minim"); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Engine.Pending() == 0 {
+		t.Fatal("no protocol messages enqueued")
+	}
+	if err := rt.Engine.Run(1); err == nil {
+		t.Fatal("limit 1 did not error")
+	}
+}
+
+// TestStartJoinErrors: duplicate joiners and unknown protocols error.
+func TestStartJoinErrors(t *testing.T) {
+	rng := xrand.New(4)
+	base := buildBase(rng, 5, 50)
+	rt := NewRuntime(1, base.Network(), base.Assignment())
+	if err := rt.StartJoin(0, adhoc.Config{Range: 10}, "minim"); err == nil {
+		t.Fatal("duplicate join did not error")
+	}
+	if err := rt.StartJoin(77, adhoc.Config{Pos: geom.Point{X: 1, Y: 1}, Range: 10}, "nope"); err == nil {
+		t.Fatal("unknown protocol did not error")
+	}
+}

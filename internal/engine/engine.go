@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/adhoc"
+	"repro/internal/graph"
+	"repro/internal/strategy"
+)
+
+// Delta is the strategy-independent decoding of one reconfiguration
+// event: everything the recoding strategies need that does not depend on
+// their private code assignments, computed exactly once per event.
+type Delta struct {
+	// Seq is the event's position in the engine log (0 for standalone
+	// Step use).
+	Seq int
+	// Event is the decoded event.
+	Event strategy.Event
+	// Part is the Fig 2 partition (without 4n) of the other nodes
+	// relative to the event configuration, captured before the topology
+	// change. Valid for Join and Move events.
+	Part adhoc.Partition
+	// PrevCfg is the node's configuration before the event. Valid for
+	// Leave, Move, and PowerChange events.
+	PrevCfg adhoc.Config
+	// Increase reports whether a PowerChange raised the range.
+	Increase bool
+	// ConflictBefore and ConflictAfter are the node's CA1/CA2 conflict
+	// neighborhoods before and after the topology change. Valid for
+	// PowerChange events (the CP extension needs the set difference).
+	ConflictBefore, ConflictAfter map[graph.NodeID]struct{}
+}
+
+// Step decodes one event against net, applies the topology change, and
+// returns the Delta. It is the shared decoder: the Engine calls it for
+// the one network it owns, and standalone strategies call it for the
+// network they own, so both paths run identical maintenance code.
+func Step(net *adhoc.Network, ev strategy.Event) (Delta, error) {
+	d := Delta{Event: ev}
+	switch ev.Kind {
+	case strategy.Join:
+		if net.Has(ev.ID) {
+			return d, fmt.Errorf("engine: node %d already in network", ev.ID)
+		}
+		d.Part = net.LocalPartitionFor(ev.ID, ev.Cfg)
+		if err := net.Join(ev.ID, ev.Cfg); err != nil {
+			return d, err
+		}
+	case strategy.Leave:
+		cfg, ok := net.Config(ev.ID)
+		if !ok {
+			return d, fmt.Errorf("engine: node %d not in network", ev.ID)
+		}
+		d.PrevCfg = cfg
+		if err := net.Leave(ev.ID); err != nil {
+			return d, err
+		}
+	case strategy.Move:
+		cfg, ok := net.Config(ev.ID)
+		if !ok {
+			return d, fmt.Errorf("engine: node %d not in network", ev.ID)
+		}
+		d.PrevCfg = cfg
+		dst := cfg
+		dst.Pos = ev.Pos
+		d.Part = net.LocalPartitionFor(ev.ID, dst)
+		if err := net.Move(ev.ID, ev.Pos); err != nil {
+			return d, err
+		}
+	case strategy.PowerChange:
+		cfg, ok := net.Config(ev.ID)
+		if !ok {
+			return d, fmt.Errorf("engine: node %d not in network", ev.ID)
+		}
+		d.PrevCfg = cfg
+		d.Increase = ev.R > cfg.Range
+		if d.Increase {
+			// Only increases create constraints (CP reads the set
+			// difference); decreases never recode, so skip both captures.
+			d.ConflictBefore = net.ConflictNeighbors(ev.ID)
+		}
+		if err := net.SetRange(ev.ID, ev.R); err != nil {
+			return d, err
+		}
+		if d.Increase {
+			d.ConflictAfter = net.ConflictNeighbors(ev.ID)
+		}
+	default:
+		return d, fmt.Errorf("engine: unknown event kind %v", ev.Kind)
+	}
+	return d, nil
+}
+
+// Subscriber is a recoding strategy hosted on the engine: it shares the
+// engine's network read-view and restores its private assignment's
+// CA1/CA2 validity from each event's Delta. Subscribers must not mutate
+// the shared topology.
+type Subscriber interface {
+	// Name identifies the subscriber in results ("Minim", "CP", "BBB").
+	Name() string
+	// OnDelta performs the subscriber's recoding for one decoded event.
+	OnDelta(Delta) (strategy.Outcome, error)
+}
+
+// Engine owns exactly one adhoc.Network per simulation run, decodes each
+// reconfiguration event once, fans the resulting Delta out to every
+// subscriber, and appends the event to its ordered log.
+type Engine struct {
+	net  *adhoc.Network
+	subs []Subscriber
+	log  []strategy.Event
+}
+
+// New returns an engine over a fresh spatially indexed network.
+func New() *Engine {
+	return &Engine{net: adhoc.New()}
+}
+
+// Adopt returns an engine over an existing network (used directly, not
+// copied). The caller relinquishes topology mutation to the engine.
+func Adopt(net *adhoc.Network) *Engine {
+	return &Engine{net: net}
+}
+
+// Network exposes the shared replica. Subscribers and callers must treat
+// it as read-only; all topology mutation flows through Apply.
+func (e *Engine) Network() *adhoc.Network { return e.net }
+
+// Subscribe attaches a subscriber. Subscribers attached mid-run see only
+// subsequent events; use Replay to bring one up to date first.
+func (e *Engine) Subscribe(s Subscriber) { e.subs = append(e.subs, s) }
+
+// Subscribers returns the attached subscribers in attach order.
+func (e *Engine) Subscribers() []Subscriber { return e.subs }
+
+// Log returns the event-sourced history: every event applied, in order.
+// Callers must not mutate it.
+func (e *Engine) Log() []strategy.Event { return e.log }
+
+// Seq returns the number of events applied so far (the next sequence
+// number). Sessions use it to mark phase boundaries in the log.
+func (e *Engine) Seq() int { return len(e.log) }
+
+// Apply decodes one event against the shared network (once), appends it
+// to the log, and invokes every subscriber with the Delta. The returned
+// outcomes align with Subscribers(). On a topology error nothing is
+// logged and no subscriber runs; on a subscriber error the topology
+// change and log entry stand (the network stays consistent) and the
+// error is returned.
+func (e *Engine) Apply(ev strategy.Event) ([]strategy.Outcome, error) {
+	d, err := Step(e.net, ev)
+	if err != nil {
+		return nil, err
+	}
+	d.Seq = len(e.log)
+	e.log = append(e.log, ev)
+	outs := make([]strategy.Outcome, len(e.subs))
+	for i, s := range e.subs {
+		out, err := s.OnDelta(d)
+		if err != nil {
+			return outs, fmt.Errorf("engine: subscriber %s: %w", s.Name(), err)
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
+// ApplyAll applies a script of events, stopping at the first error.
+func (e *Engine) ApplyAll(events []strategy.Event) error {
+	for i, ev := range events {
+		if _, err := e.Apply(ev); err != nil {
+			return fmt.Errorf("engine: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CommitPrepared applies an event's topology change and log entry
+// WITHOUT fanning it out to subscribers. It exists for the parallel
+// batch scheduler, which precomputes recodings against the pre-wave
+// state and installs them itself; using it with subscribers that were
+// not part of that computation desynchronizes them, so it errors unless
+// the caller acknowledges every subscriber via allowSubs.
+func (e *Engine) CommitPrepared(ev strategy.Event, allowSubs int) (Delta, error) {
+	if len(e.subs) > allowSubs {
+		return Delta{}, fmt.Errorf("engine: CommitPrepared with %d unacknowledged subscribers", len(e.subs)-allowSubs)
+	}
+	d, err := Step(e.net, ev)
+	if err != nil {
+		return d, err
+	}
+	d.Seq = len(e.log)
+	e.log = append(e.log, ev)
+	return d, nil
+}
+
+// Replay reconstructs a run from an event log: it builds a fresh engine,
+// asks mk for the subscribers to host on its network (mk may be nil for
+// a topology-only replay), and applies every event. This is the
+// event-sourcing contract: an engine is fully determined by its log.
+func Replay(log []strategy.Event, mk func(net *adhoc.Network) []Subscriber) (*Engine, error) {
+	e := New()
+	if mk != nil {
+		for _, s := range mk(e.net) {
+			e.Subscribe(s)
+		}
+	}
+	if err := e.ApplyAll(log); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

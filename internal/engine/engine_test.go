@@ -1,0 +1,244 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adhoc"
+	"repro/internal/bbb"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/strategy"
+	"repro/internal/toca"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// mixedScript builds a three-phase script: joins, then a power-raise
+// phase, then movement rounds with some leaves mixed in — every event
+// kind the engine decodes.
+func mixedScript(seed uint64, n int) (phases [][]strategy.Event) {
+	p := workload.Defaults()
+	p.N = n
+	p.RaiseFactor = 2.5
+	p.MaxDisp = 30
+	p.RoundNo = 2
+	base := workload.JoinScript(seed, p)
+	raise := workload.PowerRaiseScript(seed, p)
+	move := workload.MoveScript(seed, p)
+	rng := xrand.New(seed ^ 0xdead)
+	var churn []strategy.Event
+	for i := 0; i < n/4; i++ {
+		churn = append(churn, strategy.LeaveEvent(graph.NodeID(rng.Intn(n))))
+	}
+	// Deduplicate leaves (a node can only leave once).
+	seen := make(map[graph.NodeID]bool)
+	var leaves []strategy.Event
+	for _, ev := range churn {
+		if !seen[ev.ID] {
+			seen[ev.ID] = true
+			leaves = append(leaves, ev)
+		}
+	}
+	return [][]strategy.Event{base, raise, move, leaves}
+}
+
+// standalone is the scan-path oracle: each strategy owns a NewScan
+// network and decodes every event itself, exactly the pre-engine
+// architecture.
+func standaloneScan() []strategy.Strategy {
+	return []strategy.Strategy{
+		core.NewFrom(adhoc.NewScan(), make(toca.Assignment)),
+		cp.NewFrom(adhoc.NewScan(), make(toca.Assignment)),
+		bbb.NewFrom(adhoc.NewScan(), make(toca.Assignment)),
+	}
+}
+
+// TestEngineMatchesScanStandalone is the scan-vs-grid differential test:
+// the same random join/leave/move/power script replayed through (a) the
+// naive scan path with per-strategy replicas and (b) the indexed shared
+// engine must produce identical digraphs and identical Minim/CP/BBB
+// metrics at every phase boundary.
+func TestEngineMatchesScanStandalone(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		phases := mixedScript(seed, 40)
+
+		// (a) scan-path standalone replicas.
+		oracle := standaloneScan()
+		oracleRunners := make([]*strategy.Runner, len(oracle))
+		for i, s := range oracle {
+			oracleRunners[i] = strategy.NewRunner(s)
+		}
+
+		// (b) one shared indexed engine.
+		eng := engine.New()
+		shared := []strategy.Strategy{
+			core.NewShared(eng.Network()),
+			cp.NewShared(eng.Network()),
+			bbb.NewShared(eng.Network()),
+		}
+		metrics := make([]*strategy.Metrics, len(shared))
+		for i, s := range shared {
+			eng.Subscribe(s.(engine.Subscriber))
+			metrics[i] = strategy.NewMetrics()
+		}
+
+		for pi, phase := range phases {
+			for _, ev := range phase {
+				for _, r := range oracleRunners {
+					if _, err := r.Apply(ev); err != nil {
+						t.Fatalf("seed %d phase %d: oracle: %v", seed, pi, err)
+					}
+				}
+				outs, err := eng.Apply(ev)
+				if err != nil {
+					t.Fatalf("seed %d phase %d: engine: %v", seed, pi, err)
+				}
+				for i := range shared {
+					metrics[i].Record(ev.Kind, outs[i])
+				}
+			}
+			// Phase boundary: digraph and per-strategy metric parity.
+			for i := range shared {
+				name := shared[i].Name()
+				og := oracle[i].Network().Graph()
+				if !reflect.DeepEqual(og.Edges(), eng.Network().Graph().Edges()) {
+					t.Fatalf("seed %d phase %d: %s: digraphs diverge", seed, pi, name)
+				}
+				om, sm := oracleRunners[i].M, metrics[i]
+				if om.TotalRecodings != sm.TotalRecodings || om.MaxColor != sm.MaxColor || om.PeakMaxColor != sm.PeakMaxColor {
+					t.Fatalf("seed %d phase %d: %s: metrics diverge: oracle (%d rec, max %d, peak %d) vs engine (%d rec, max %d, peak %d)",
+						seed, pi, name,
+						om.TotalRecodings, om.MaxColor, om.PeakMaxColor,
+						sm.TotalRecodings, sm.MaxColor, sm.PeakMaxColor)
+				}
+				if !reflect.DeepEqual(oracle[i].Assignment(), shared[i].Assignment()) {
+					t.Fatalf("seed %d phase %d: %s: assignments diverge", seed, pi, name)
+				}
+			}
+		}
+		if err := eng.Network().CheckConsistency(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestEngineSharesOneReplica: every subscriber reads the engine's own
+// network object — no clones on the shared path.
+func TestEngineSharesOneReplica(t *testing.T) {
+	eng := engine.New()
+	subs := []strategy.Strategy{
+		core.NewShared(eng.Network()),
+		cp.NewShared(eng.Network()),
+		bbb.NewShared(eng.Network()),
+	}
+	for _, s := range subs {
+		if s.Network() != eng.Network() {
+			t.Fatalf("%s holds a different network replica", s.Name())
+		}
+		eng.Subscribe(s.(engine.Subscriber))
+	}
+	if _, err := eng.Apply(strategy.JoinEvent(1, adhoc.Config{Pos: geom.Point{X: 1, Y: 1}, Range: 5})); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Network().Size() != 1 {
+		t.Fatal("join did not reach the shared replica")
+	}
+}
+
+// TestEngineLogReplay: the event log fully determines the run — Replay
+// rebuilds an identical topology and identical subscriber assignments.
+func TestEngineLogReplay(t *testing.T) {
+	phases := mixedScript(11, 30)
+	eng := engine.New()
+	minim := core.NewShared(eng.Network())
+	eng.Subscribe(minim)
+	for _, phase := range phases {
+		for _, ev := range phase {
+			if _, err := eng.Apply(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var replayed *core.Recoder
+	re, err := engine.Replay(eng.Log(), func(net *adhoc.Network) []engine.Subscriber {
+		replayed = core.NewShared(net)
+		return []engine.Subscriber{replayed}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eng.Network().Graph().Edges(), re.Network().Graph().Edges()) {
+		t.Fatal("replayed digraph diverges")
+	}
+	if !reflect.DeepEqual(minim.Assignment(), replayed.Assignment()) {
+		t.Fatal("replayed assignment diverges")
+	}
+	if re.Seq() != eng.Seq() {
+		t.Fatalf("replayed log has %d events, original %d", re.Seq(), eng.Seq())
+	}
+}
+
+// TestSharedRejectsDirectApply: engine-hosted strategies refuse Apply —
+// topology mutation must flow through the engine.
+func TestSharedRejectsDirectApply(t *testing.T) {
+	eng := engine.New()
+	for _, s := range []strategy.Strategy{
+		core.NewShared(eng.Network()),
+		cp.NewShared(eng.Network()),
+		bbb.NewShared(eng.Network()),
+	} {
+		if _, err := s.Apply(strategy.JoinEvent(1, adhoc.Config{Range: 1})); err == nil {
+			t.Fatalf("%s accepted a direct Apply", s.Name())
+		}
+	}
+}
+
+// TestCommitPreparedGuard: CommitPrepared refuses to skip subscribers
+// the caller did not acknowledge.
+func TestCommitPreparedGuard(t *testing.T) {
+	eng := engine.New()
+	eng.Subscribe(core.NewShared(eng.Network()))
+	if _, err := eng.CommitPrepared(strategy.JoinEvent(1, adhoc.Config{Range: 1}), 0); err == nil {
+		t.Fatal("CommitPrepared ignored an unacknowledged subscriber")
+	}
+	if _, err := eng.CommitPrepared(strategy.JoinEvent(1, adhoc.Config{Range: 1}), 1); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Seq() != 1 {
+		t.Fatalf("log has %d events, want 1", eng.Seq())
+	}
+}
+
+// TestEngineTopologyErrors: bad events error without reaching
+// subscribers or the log.
+func TestEngineTopologyErrors(t *testing.T) {
+	eng := engine.New()
+	minim := core.NewShared(eng.Network())
+	eng.Subscribe(minim)
+	if _, err := eng.Apply(strategy.LeaveEvent(99)); err == nil {
+		t.Fatal("leave of absent node did not error")
+	}
+	if _, err := eng.Apply(strategy.MoveEvent(99, geom.Point{})); err == nil {
+		t.Fatal("move of absent node did not error")
+	}
+	if _, err := eng.Apply(strategy.PowerEvent(99, 5)); err == nil {
+		t.Fatal("power change of absent node did not error")
+	}
+	if _, err := eng.Apply(strategy.JoinEvent(1, adhoc.Config{Range: 3})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Apply(strategy.JoinEvent(1, adhoc.Config{Range: 3})); err == nil {
+		t.Fatal("duplicate join did not error")
+	}
+	if eng.Seq() != 1 {
+		t.Fatalf("log recorded %d events, want only the valid join", eng.Seq())
+	}
+	if len(minim.Assignment()) != 1 {
+		t.Fatalf("assignment = %v, want the single joiner colored", minim.Assignment())
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// TestEngineSessionSharesNetwork: every hosted strategy reads the one
+// engine-owned replica — the acceptance criterion of the engine
+// refactor.
+func TestEngineSessionSharesNetwork(t *testing.T) {
+	sess, err := NewEngineSession(AllStrategies, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range AllStrategies {
+		st, ok := sess.StrategyOf(name)
+		if !ok {
+			t.Fatalf("%s not hosted", name)
+		}
+		if st.Network() != sess.Engine().Network() {
+			t.Fatalf("%s holds a private network replica", name)
+		}
+	}
+}
+
+// TestEngineSessionEventLog: the session is event-sourced — the applied
+// script is recoverable from the log, with phase marks at boundaries.
+func TestEngineSessionEventLog(t *testing.T) {
+	p := workload.Defaults()
+	p.N = 20
+	p.RaiseFactor = 2
+	base := workload.JoinScript(3, p)
+	phase := workload.PowerRaiseScript(3, p)
+
+	sess, err := NewEngineSession(AllStrategies, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Apply(base); err != nil {
+		t.Fatal(err)
+	}
+	sess.Mark()
+	if err := sess.Apply(phase); err != nil {
+		t.Fatal(err)
+	}
+	sess.Mark()
+
+	want := append(append([]strategy.Event{}, base...), phase...)
+	if !reflect.DeepEqual(sess.Events(), want) {
+		t.Fatal("event log does not equal the applied script")
+	}
+	if got := sess.Phases(); len(got) != 2 || got[0] != len(base) || got[1] != len(base)+len(phase) {
+		t.Fatalf("phase marks = %v", got)
+	}
+}
+
+// TestRunPhasesMatchesLegacySemantics: the engine-backed RunPhases
+// produces the same per-strategy results as driving standalone
+// strategies through runners (the pre-engine architecture).
+func TestRunPhasesMatchesLegacySemantics(t *testing.T) {
+	p := workload.Defaults()
+	p.N = 30
+	p.MaxDisp = 40
+	p.RoundNo = 2
+	base := workload.JoinScript(6, p)
+	phase := workload.MoveScript(6, p)
+
+	got, err := RunPhases(AllStrategies, base, phase, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, name := range AllStrategies {
+		st, err := NewStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := NewSession(st, false)
+		if err := sess.Apply(base); err != nil {
+			t.Fatal(err)
+		}
+		afterBase := sess.Snapshot()
+		if err := sess.Apply(phase); err != nil {
+			t.Fatal(err)
+		}
+		final := sess.Snapshot()
+		if got[i].AfterBase != afterBase || got[i].Final != final {
+			t.Fatalf("%s: engine run %+v/%+v, standalone %+v/%+v",
+				name, got[i].AfterBase, got[i].Final, afterBase, final)
+		}
+	}
+}

@@ -2,14 +2,23 @@
 // snapshots the paper's two metrics (total recodings, maximum color
 // index) at phase boundaries. It is the glue between the workload
 // generators and the experiment harness.
+//
+// Since the engine refactor a run hosts all of its strategies on one
+// shared incremental network engine (internal/engine): each event is
+// decoded once and its delta fanned out, instead of every strategy
+// cloning and re-maintaining its own adhoc.Network replica. The
+// EngineSession is the event-sourced pipeline the figure sweeps run on;
+// the single-strategy Session remains as a thin wrapper over it.
 package sim
 
 import (
 	"fmt"
 
+	"repro/internal/adhoc"
 	"repro/internal/bbb"
 	"repro/internal/core"
 	"repro/internal/cp"
+	"repro/internal/engine"
 	"repro/internal/strategy"
 	"repro/internal/toca"
 )
@@ -21,7 +30,175 @@ type Snapshot struct {
 	Nodes          int
 }
 
-// Session couples a strategy with metric accounting across script phases.
+// StrategyName identifies one of the three competing strategies.
+type StrategyName string
+
+// The three strategies of the paper's evaluation, plus the strict-move
+// CP variant (the literal leave-then-join reading of [3], used by the
+// movement ablation).
+const (
+	Minim    StrategyName = "Minim"
+	CP       StrategyName = "CP"
+	BBB      StrategyName = "BBB"
+	CPStrict StrategyName = "CP-strict"
+)
+
+// AllStrategies lists the paper's three competitors in plot order.
+var AllStrategies = []StrategyName{Minim, CP, BBB}
+
+// NewStrategy constructs a fresh standalone instance of the named
+// strategy (it owns its own network replica). Engine-hosted runs use
+// NewSharedStrategy instead.
+func NewStrategy(name StrategyName) (strategy.Strategy, error) {
+	switch name {
+	case Minim:
+		return core.New(), nil
+	case CP:
+		return cp.New(), nil
+	case CPStrict:
+		return cp.NewStrict(), nil
+	case BBB:
+		return bbb.New(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown strategy %q", name)
+	}
+}
+
+// NewSharedStrategy constructs an instance of the named strategy hosted
+// on an engine-owned network: it reads net but never mutates it, and
+// must be subscribed to the owning engine.
+func NewSharedStrategy(name StrategyName, net *adhoc.Network) (strategy.Strategy, error) {
+	switch name {
+	case Minim:
+		return core.NewShared(net), nil
+	case CP:
+		return cp.NewShared(net), nil
+	case CPStrict:
+		return cp.NewSharedStrict(net), nil
+	case BBB:
+		return bbb.NewShared(net), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown strategy %q", name)
+	}
+}
+
+// entry is one strategy hosted on an EngineSession.
+type entry struct {
+	name  StrategyName
+	strat strategy.Strategy // also an engine.Subscriber
+	m     *strategy.Metrics
+}
+
+// EngineSession is the event-sourced session pipeline: one engine-owned
+// network replica, any number of subscribed strategies, per-strategy
+// metric accounting, and phase marks into the engine's event log.
+type EngineSession struct {
+	eng      *engine.Engine
+	entries  []entry
+	validate bool
+	phases   []int // log offsets at Mark() calls
+}
+
+// NewEngineSession hosts fresh instances of the named strategies on one
+// new engine. When validate is set, CA1/CA2 are re-verified for every
+// strategy after every event (slow; meant for tests and the verify
+// tool).
+func NewEngineSession(names []StrategyName, validate bool) (*EngineSession, error) {
+	eng := engine.New()
+	s := &EngineSession{eng: eng, validate: validate}
+	for _, name := range names {
+		st, err := NewSharedStrategy(name, eng.Network())
+		if err != nil {
+			return nil, err
+		}
+		sub, ok := st.(engine.Subscriber)
+		if !ok {
+			return nil, fmt.Errorf("sim: strategy %q is not engine-hostable", name)
+		}
+		eng.Subscribe(sub)
+		s.entries = append(s.entries, entry{name: name, strat: st, m: strategy.NewMetrics()})
+	}
+	return s, nil
+}
+
+// Engine exposes the underlying engine (read-only use).
+func (s *EngineSession) Engine() *engine.Engine { return s.eng }
+
+// Events returns the event-sourced log applied so far.
+func (s *EngineSession) Events() []strategy.Event { return s.eng.Log() }
+
+// Mark records the current log position as a phase boundary and returns
+// its index.
+func (s *EngineSession) Mark() int {
+	s.phases = append(s.phases, s.eng.Seq())
+	return len(s.phases) - 1
+}
+
+// Phases returns the marked phase boundaries as log offsets.
+func (s *EngineSession) Phases() []int { return append([]int(nil), s.phases...) }
+
+// Apply runs one phase of events through the engine: each event is
+// decoded once and fanned out to every strategy.
+func (s *EngineSession) Apply(events []strategy.Event) error {
+	for i, ev := range events {
+		outs, err := s.eng.Apply(ev)
+		if err != nil {
+			return fmt.Errorf("sim: event %d: %w", i, err)
+		}
+		for j := range s.entries {
+			s.entries[j].m.Record(ev.Kind, outs[j])
+		}
+		if s.validate {
+			g := s.eng.Network().Graph()
+			for _, e := range s.entries {
+				if vs := toca.Verify(g, e.strat.Assignment()); len(vs) > 0 {
+					return fmt.Errorf("sim: %s: event %d (%v on node %d) left %d violations, first: %v",
+						e.name, i, ev.Kind, ev.ID, len(vs), vs[0])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StrategyOf returns the hosted instance of the named strategy.
+func (s *EngineSession) StrategyOf(name StrategyName) (strategy.Strategy, bool) {
+	for _, e := range s.entries {
+		if e.name == name {
+			return e.strat, true
+		}
+	}
+	return nil, false
+}
+
+// MetricsOf returns the metric accumulator of the named strategy.
+func (s *EngineSession) MetricsOf(name StrategyName) (*strategy.Metrics, bool) {
+	for _, e := range s.entries {
+		if e.name == name {
+			return e.m, true
+		}
+	}
+	return nil, false
+}
+
+// SnapshotOf reports the cumulative metrics of the named strategy.
+func (s *EngineSession) SnapshotOf(name StrategyName) (Snapshot, bool) {
+	for _, e := range s.entries {
+		if e.name == name {
+			return Snapshot{
+				TotalRecodings: e.m.TotalRecodings,
+				MaxColor:       e.m.MaxColor,
+				Nodes:          s.eng.Network().Size(),
+			}, true
+		}
+	}
+	return Snapshot{}, false
+}
+
+// Session couples a single strategy with metric accounting across script
+// phases. Standalone strategies (from NewStrategy) are driven through a
+// runner over their own network; it remains the convenience wrapper for
+// tools that need direct access to one strategy's state.
 type Session struct {
 	runner *strategy.Runner
 }
@@ -51,39 +228,6 @@ func (s *Session) Snapshot() Snapshot {
 	}
 }
 
-// StrategyName identifies one of the three competing strategies.
-type StrategyName string
-
-// The three strategies of the paper's evaluation, plus the strict-move
-// CP variant (the literal leave-then-join reading of [3], used by the
-// movement ablation).
-const (
-	Minim    StrategyName = "Minim"
-	CP       StrategyName = "CP"
-	BBB      StrategyName = "BBB"
-	CPStrict StrategyName = "CP-strict"
-)
-
-// AllStrategies lists the paper's three competitors in plot order.
-var AllStrategies = []StrategyName{Minim, CP, BBB}
-
-// NewStrategy constructs a fresh empty-network instance of the named
-// strategy.
-func NewStrategy(name StrategyName) (strategy.Strategy, error) {
-	switch name {
-	case Minim:
-		return core.New(), nil
-	case CP:
-		return cp.New(), nil
-	case CPStrict:
-		return cp.NewStrict(), nil
-	case BBB:
-		return bbb.New(), nil
-	default:
-		return nil, fmt.Errorf("sim: unknown strategy %q", name)
-	}
-}
-
 // PhaseResult reports the snapshots around a two-phase run.
 type PhaseResult struct {
 	Name      StrategyName
@@ -102,28 +246,34 @@ func (p PhaseResult) DeltaMaxColor() int {
 	return int(p.Final.MaxColor) - int(p.AfterBase.MaxColor)
 }
 
-// RunPhases drives a fresh instance of each named strategy through the
+// RunPhases drives fresh instances of the named strategies through the
 // base script and then the phase script, reporting snapshots at both
-// boundaries. Every strategy sees the identical event sequence.
+// boundaries. Every strategy sees the identical event sequence, decoded
+// exactly once by one shared engine-owned network replica.
 func RunPhases(names []StrategyName, base, phase []strategy.Event, validate bool) ([]PhaseResult, error) {
+	sess, err := NewEngineSession(names, validate)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Apply(base); err != nil {
+		return nil, fmt.Errorf("base phase: %w", err)
+	}
+	sess.Mark()
+	afterBase := make([]Snapshot, len(names))
+	for i, name := range names {
+		afterBase[i], _ = sess.SnapshotOf(name)
+	}
+	if err := sess.Apply(phase); err != nil {
+		return nil, fmt.Errorf("second phase: %w", err)
+	}
+	sess.Mark()
 	results := make([]PhaseResult, 0, len(names))
-	for _, name := range names {
-		st, err := NewStrategy(name)
-		if err != nil {
-			return nil, err
-		}
-		sess := NewSession(st, validate)
-		if err := sess.Apply(base); err != nil {
-			return nil, fmt.Errorf("%s base phase: %w", name, err)
-		}
-		afterBase := sess.Snapshot()
-		if err := sess.Apply(phase); err != nil {
-			return nil, fmt.Errorf("%s second phase: %w", name, err)
-		}
+	for i, name := range names {
+		final, _ := sess.SnapshotOf(name)
 		results = append(results, PhaseResult{
 			Name:      name,
-			AfterBase: afterBase,
-			Final:     sess.Snapshot(),
+			AfterBase: afterBase[i],
+			Final:     final,
 		})
 	}
 	return results, nil

@@ -188,9 +188,19 @@ func ConflictNeighborsSorted(g *graph.Digraph, u graph.NodeID) []graph.NodeID {
 // ConflictGraph materializes C(G) as an undirected adjacency map. The
 // coloring heuristics (BBB substrate) color this graph directly.
 func ConflictGraph(g *graph.Digraph) map[graph.NodeID][]graph.NodeID {
-	adj := make(map[graph.NodeID][]graph.NodeID, g.NumNodes())
-	for _, u := range g.Nodes() {
-		set := ConflictNeighbors(g, u)
+	return ConflictGraphFrom(g.Nodes(), func(u graph.NodeID) map[graph.NodeID]struct{} {
+		return ConflictNeighbors(g, u)
+	})
+}
+
+// ConflictGraphFrom builds the symmetrized conflict adjacency from a
+// per-node conflict-set source. It lets callers substitute a cached
+// source (adhoc.Network.ConflictNeighbors) for the direct recompute;
+// the sets are read, never mutated.
+func ConflictGraphFrom(nodes []graph.NodeID, sets func(graph.NodeID) map[graph.NodeID]struct{}) map[graph.NodeID][]graph.NodeID {
+	adj := make(map[graph.NodeID][]graph.NodeID, len(nodes))
+	for _, u := range nodes {
+		set := sets(u)
 		lst := make([]graph.NodeID, 0, len(set))
 		for id := range set {
 			lst = append(lst, id)
@@ -275,15 +285,30 @@ func (s ColorSet) LowestFree() Color {
 // constraining nodes outside the exclude set (whose colors are about to
 // be reassigned and therefore do not constrain u through their old
 // values). Pass a nil exclude map to consider every constraining node.
+//
+// The constraint walk is fused: instead of materializing the conflict
+// neighborhood as a node set first (the profile's dominant allocation on
+// the recoding hot path), colors are folded directly into the result.
+// Revisiting a co-transmitter through several shared receivers is
+// harmless — ColorSet.Add is idempotent.
 func Forbidden(g *graph.Digraph, a Assignment, u graph.NodeID, exclude map[graph.NodeID]struct{}) ColorSet {
 	set := make(ColorSet)
-	for v := range ConflictNeighbors(g, u) {
+	add := func(v graph.NodeID) {
 		if exclude != nil {
 			if _, skip := exclude[v]; skip {
-				continue
+				return
 			}
 		}
 		set.Add(a[v])
 	}
+	g.ForEachOut(u, func(v graph.NodeID) {
+		add(v) // CA1 on u->v
+		g.ForEachIn(v, func(x graph.NodeID) {
+			if x != u {
+				add(x) // CA2 at v
+			}
+		})
+	})
+	g.ForEachIn(u, add) // CA1 on v->u
 	return set
 }
