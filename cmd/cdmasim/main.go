@@ -4,19 +4,34 @@
 // and a chip-level radio check that the final assignment is
 // collision-free.
 //
+// With -shards > 1 the run executes on the region-partitioned parallel
+// runtime (internal/shard): the arena splits into a grid of regions,
+// interior events run concurrently on per-region workers, and events
+// whose interference ball crosses a region border are serialized on the
+// border lane — bit-identical to the single-engine run. -hotspots K
+// draws join positions from an inhomogeneous Poisson density with K
+// Gaussian hot spots on a regular grid (the workload where sharding
+// pays off when the spot grid matches the shard grid); the generated
+// script depends only on the workload flags, never on -shards, so runs
+// at different shard counts are directly comparable.
+//
 // Usage:
 //
 //	cdmasim [-strategy Minim|CP|BBB] [-n 100] [-minr 20.5] [-maxr 30.5]
-//	        [-churn 200] [-seed 1] [-gossip] [-radio] [-v]
+//	        [-arena 100] [-churn 200] [-seed 1] [-shards 1] [-hotspots 4]
+//	        [-gossip] [-radio] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
+	"repro/internal/adhoc"
 	"repro/internal/gossip"
 	"repro/internal/radio"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/toca"
 	"repro/internal/trace"
@@ -35,6 +50,9 @@ func main() {
 		doRadio  = flag.Bool("radio", false, "run a chip-level all-transmit radio check")
 		saveTo   = flag.String("save", "", "save the generated event script as a JSON trace")
 		replay   = flag.String("replay", "", "replay a JSON trace instead of generating a workload")
+		arena    = flag.Float64("arena", 100, "arena side length")
+		shards   = flag.Int("shards", 1, "region shards (>1 runs the parallel sharded runtime)")
+		hotspots = flag.Int("hotspots", 0, "IPPP joins: number of Gaussian hot spots (0 = uniform; workload is independent of -shards)")
 		verbose  = flag.Bool("v", false, "per-event output")
 	)
 	flag.Parse()
@@ -43,8 +61,20 @@ func main() {
 	p.N = *n
 	p.MinR = *minr
 	p.MaxR = *maxr
+	p.ArenaW, p.ArenaH = *arena, *arena
+	gx, gy := gridFor(*shards)
 
 	events := workload.JoinScript(*seed, p)
+	if *hotspots > 0 {
+		if *churn > 0 {
+			// Churn regenerates its own uniform join base internally, so
+			// combining the two would silently drop the hot-spot density.
+			fail(fmt.Errorf("-hotspots and -churn cannot be combined (churn uses a uniform join base)"))
+		}
+		hx, hy := gridFor(*hotspots)
+		d := workload.Density{Spots: workload.GridSpots(hx, hy, p.ArenaW, p.ArenaH, *arena/float64(3*hx), 1)}
+		events = workload.IPPPJoinScript(*seed, p, d)
+	}
 	if *churn > 0 {
 		events = workload.Churn(*seed, p, *churn, workload.ChurnWeights{Join: 1, Leave: 1, Move: 3, Power: 2})
 	}
@@ -75,49 +105,102 @@ func main() {
 		fmt.Printf("trace saved to %s\n", *saveTo)
 	}
 
-	// Host the strategy on the shared incremental network engine: the
-	// engine owns the one network replica, decodes each event once, and
-	// fans the delta out (here to a single subscriber; -strategy all
-	// would share the same decode across all three).
 	name := sim.StrategyName(*strat)
-	sess, err := sim.NewEngineSession([]sim.StrategyName{name}, true)
-	if err != nil {
-		fail(err)
+	var (
+		finalNet    *networkView
+		snap        sim.Snapshot
+		shardReport string
+	)
+	if *shards > 1 {
+		// Region-partitioned parallel runtime: one engine per region
+		// shard, border lane for cross-region interference.
+		specs, err := shard.DefaultSpecs(string(name))
+		if err != nil {
+			fail(err)
+		}
+		coord, err := shard.New(shard.Config{GridX: gx, GridY: gy, ArenaW: p.ArenaW, ArenaH: p.ArenaH}, specs)
+		if err != nil {
+			fail(err)
+		}
+		defer coord.Close()
+		if *verbose {
+			fmt.Printf("applying %d events across %dx%d shards...\n", len(events), gx, gy)
+		}
+		if err := coord.Apply(events); err != nil {
+			fail(err)
+		}
+		s, ok, err := coord.SnapshotOf(string(name))
+		if err != nil || !ok {
+			fail(fmt.Errorf("sharded snapshot: ok=%v err=%v", ok, err))
+		}
+		snap = sim.Snapshot{TotalRecodings: s.TotalRecodings, MaxColor: s.MaxColor, Nodes: s.Nodes}
+		net, err := coord.Network()
+		if err != nil {
+			fail(err)
+		}
+		assign, _, err := coord.AssignmentOf(string(name))
+		if err != nil {
+			fail(err)
+		}
+		if *verbose {
+			// O(n^2) debug check (pairwise edge re-derivation per shard);
+			// the cheap CA1/CA2 verification below always runs.
+			if err := coord.CheckConsistency(); err != nil {
+				fail(err)
+			}
+		}
+		finalNet = &networkView{net: net, assign: assign}
+		st := coord.Stats()
+		shardReport = fmt.Sprintf("shards           : %dx%d, %d interior / %d border events, %d barriers\n",
+			gx, gy, st.Interior, st.Border, st.Barriers)
+	} else {
+		// Host the strategy on the shared incremental network engine:
+		// the engine owns the one network replica, decodes each event
+		// once, and fans the delta out.
+		sess, err := sim.NewEngineSession([]sim.StrategyName{name}, true)
+		if err != nil {
+			fail(err)
+		}
+		st, _ := sess.StrategyOf(name)
+		if *verbose {
+			fmt.Printf("applying %d events to %s...\n", len(events), st.Name())
+		}
+		if err := sess.Apply(events); err != nil {
+			fail(err)
+		}
+		snap, _ = sess.SnapshotOf(name)
+		finalNet = &networkView{net: st.Network(), assign: st.Assignment()}
 	}
-	st, _ := sess.StrategyOf(name)
-	if *verbose {
-		fmt.Printf("applying %d events to %s...\n", len(events), st.Name())
-	}
-	if err := sess.Apply(events); err != nil {
-		fail(err)
-	}
-	snap, _ := sess.SnapshotOf(name)
-	fmt.Printf("strategy         : %s\n", st.Name())
+
+	fmt.Printf("strategy         : %s\n", name)
 	fmt.Printf("events           : %d\n", len(events))
 	fmt.Printf("nodes            : %d\n", snap.Nodes)
 	fmt.Printf("total recodings  : %d\n", snap.TotalRecodings)
 	fmt.Printf("max color index  : %d\n", snap.MaxColor)
+	if shardReport != "" {
+		fmt.Print(shardReport)
+	}
 
-	if vs := toca.Verify(st.Network().Graph(), st.Assignment()); len(vs) > 0 {
+	if vs := toca.Verify(finalNet.net.Graph(), finalNet.assign); len(vs) > 0 {
 		fail(fmt.Errorf("final assignment has %d violations", len(vs)))
 	}
 	fmt.Printf("CA1/CA2          : valid\n")
 
 	if *doGossip {
-		res := gossip.Compact(st.Network(), st.Assignment(), 0)
+		res := gossip.Compact(finalNet.net, finalNet.assign, 0)
 		fmt.Printf("gossip           : %d recodings over %d rounds, max color %d -> %d\n",
 			res.Recodings, res.Rounds, res.MaxBefore, res.MaxAfter)
-		if vs := toca.Verify(st.Network().Graph(), st.Assignment()); len(vs) > 0 {
+		if vs := toca.Verify(finalNet.net.Graph(), finalNet.assign); len(vs) > 0 {
 			fail(fmt.Errorf("gossip broke the assignment: %d violations", len(vs)))
 		}
 	}
 
 	if *doRadio {
-		book, err := radio.BookFor(st.Assignment())
+		book, err := radio.BookFor(finalNet.assign)
 		if err != nil {
 			fail(err)
 		}
-		rs, err := radio.BroadcastAll(st.Network(), st.Assignment(), book, nil)
+		rs, err := radio.BroadcastAll(finalNet.net, finalNet.assign, book, nil)
 		if err != nil {
 			fail(err)
 		}
@@ -128,6 +211,27 @@ func main() {
 			fail(fmt.Errorf("radio check found %d garbled receptions", len(garbled)))
 		}
 	}
+}
+
+// networkView pairs the final topology with the strategy's assignment
+// for the post-run checks (single-engine and sharded runs both yield
+// one).
+type networkView struct {
+	net    *adhoc.Network
+	assign toca.Assignment
+}
+
+// gridFor factors a shard count into the most square gx x gy grid.
+func gridFor(n int) (int, int) {
+	if n < 1 {
+		n = 1
+	}
+	for d := int(math.Sqrt(float64(n))); d > 1; d-- {
+		if n%d == 0 {
+			return n / d, d
+		}
+	}
+	return n, 1
 }
 
 func fail(err error) {

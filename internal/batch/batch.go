@@ -255,7 +255,7 @@ func propose(net *adhoc.Network, assign toca.Assignment, ev strategy.Event) (pro
 	// The joiner's constraints: colors of its would-be out-neighbors and
 	// of their other in-neighbors (the graph does not contain the joiner
 	// yet, so collect them from the partition).
-	joinerForb := make(toca.ColorSet)
+	joinerForb := toca.NewColorSet()
 	for _, lst := range [][]graph.NodeID{part.Out, part.Both} {
 		for _, w := range lst {
 			if c := assign[w]; c != toca.None {

@@ -30,11 +30,9 @@ func nodesOf(adj Adjacency) []graph.NodeID {
 // from order are left uncolored.
 func Greedy(adj Adjacency, order []graph.NodeID) toca.Assignment {
 	a := make(toca.Assignment, len(adj))
-	used := make(toca.ColorSet)
+	used := toca.NewColorSet()
 	for _, u := range order {
-		for c := range used {
-			delete(used, c)
-		}
+		used.Clear()
 		for _, v := range adj[u] {
 			used.Add(a[v])
 		}
@@ -107,7 +105,7 @@ func DSATUR(adj Adjacency) toca.Assignment {
 	satSets := make(map[graph.NodeID]toca.ColorSet, n)
 	ids := nodesOf(adj)
 	for _, id := range ids {
-		satSets[id] = make(toca.ColorSet)
+		satSets[id] = toca.NewColorSet()
 	}
 	for done := 0; done < n; done++ {
 		var pick graph.NodeID
@@ -116,7 +114,7 @@ func DSATUR(adj Adjacency) toca.Assignment {
 			if a[id] != toca.None {
 				continue
 			}
-			sat, deg := len(satSets[id]), len(adj[id])
+			sat, deg := satSets[id].Len(), len(adj[id])
 			if sat > bestSat || (sat == bestSat && deg > bestDeg) {
 				bestSat, bestDeg, pick = sat, deg, id
 			}

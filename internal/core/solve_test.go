@@ -69,7 +69,7 @@ func TestSolveRespectsForbidden(t *testing.T) {
 			if rng.Bool() {
 				old[v1[i]] = toca.Color(1 + rng.Intn(5))
 			}
-			fs := make(toca.ColorSet)
+			fs := toca.NewColorSet()
 			for c := toca.Color(1); c <= 6; c++ {
 				if rng.Float64() < 0.3 {
 					fs.Add(c)
@@ -123,7 +123,7 @@ func TestSolveWeightedCardinalityLosesMinimality(t *testing.T) {
 		for i := range v1 {
 			v1[i] = graph.NodeID(i)
 			old[v1[i]] = toca.Color(1 + rng.Intn(3))
-			fs := make(toca.ColorSet)
+			fs := toca.NewColorSet()
 			for c := toca.Color(1); c <= 4; c++ {
 				if rng.Float64() < 0.25 && c != old[v1[i]] {
 					fs.Add(c)

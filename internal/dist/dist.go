@@ -32,20 +32,41 @@ import (
 )
 
 // message is one in-flight protocol message. The handler runs when the
-// engine delivers it; From/To/Kind exist for tracing and accounting.
+// engine delivers it; From/To/Kind exist for tracing and accounting, and
+// drops counts how many delivery attempts were lost so far.
 type message struct {
 	From, To graph.NodeID
 	Kind     string
 	handler  func()
+	drops    int
 }
 
 // Engine is the FIFO delivery engine: messages are delivered in send
 // order, one at a time (the sequential-consistency setting of the
 // paper's protocol arguments). Delivered counts every delivery across
-// the runtime's lifetime.
+// the runtime's lifetime; Dropped counts lost attempts in lossy mode.
 type Engine struct {
 	queue     []message
 	Delivered int
+	Dropped   int
+	dropRng   *xrand.RNG
+	dropProb  float64
+	maxDrops  int
+}
+
+// Unreliable switches delivery to a lossy link: each attempt is lost
+// with probability p (deterministically from seed), and a lost message
+// is retransmitted at the back of the queue — the sender's
+// timeout-and-resend path. Retransmission reorders the stream relative
+// to FIFO, so the protocols' convergence must not depend on delivery
+// order; the fault-injection tests assert exactly that. A message is
+// dropped at most maxDrops times before the link lets it through,
+// bounding the retry budget (the paper's protocols assume eventual
+// delivery, not a bounded-loss link).
+func (e *Engine) Unreliable(seed uint64, p float64, maxDrops int) {
+	e.dropRng = xrand.New(seed)
+	e.dropProb = p
+	e.maxDrops = maxDrops
 }
 
 // send enqueues a message for later delivery.
@@ -56,7 +77,7 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Run delivers queued messages (including ones enqueued by handlers run
 // along the way) until the queue drains. It errors if more than limit
-// deliveries are needed — a guard against protocol livelock.
+// delivery attempts are needed — a guard against protocol livelock.
 func (e *Engine) Run(limit int) error {
 	for n := 0; len(e.queue) > 0; n++ {
 		if n >= limit {
@@ -64,6 +85,13 @@ func (e *Engine) Run(limit int) error {
 		}
 		m := e.queue[0]
 		e.queue = e.queue[1:]
+		if e.dropRng != nil && m.drops < e.maxDrops && e.dropRng.Float64() < e.dropProb {
+			// Lost in flight: the sender times out and retransmits.
+			e.Dropped++
+			m.drops++
+			e.send(m)
+			continue
+		}
 		e.Delivered++
 		m.handler()
 	}
@@ -220,7 +248,7 @@ func (rt *Runtime) startMinimJoin(joiner *Node, part adhoc.Partition) {
 func (st *minimJoin) gather(u graph.NodeID) {
 	rt := st.rt
 	peers := rt.conflictOutside(u, st.excl)
-	forb := make(toca.ColorSet)
+	forb := toca.NewColorSet()
 	replies := len(peers)
 	if replies == 0 {
 		st.report(u, forb)
@@ -374,7 +402,7 @@ func (st *cpJoin) advance() {
 func (st *cpJoin) selectColor(u graph.NodeID, undecided map[graph.NodeID]struct{}) {
 	rt := st.rt
 	peers := rt.conflictOutside(u, undecided)
-	forb := make(toca.ColorSet)
+	forb := toca.NewColorSet()
 	decide := func() {
 		rt.nodes[u].color = forb.LowestFree()
 		if u == st.joiner.id {

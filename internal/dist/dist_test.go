@@ -135,6 +135,84 @@ func TestRunLimit(t *testing.T) {
 	}
 }
 
+// TestDroppedMessagesConverge: under heavy message loss with
+// retransmission, both join protocols still converge to exactly the
+// sequential assignment — the retry path delays but never corrupts the
+// gathered inputs, because no assignment changes until every query in a
+// phase is answered (minim) or the token holder has all replies (cp).
+func TestDroppedMessagesConverge(t *testing.T) {
+	rng := xrand.New(17)
+	for it := 0; it < 20; it++ {
+		n := 5 + rng.Intn(25)
+		base := buildBase(rng, n, 100)
+		joiner := graph.NodeID(n + 1)
+		cfg := adhoc.Config{
+			Pos:   geom.Point{X: rng.Uniform(0, 100), Y: rng.Uniform(0, 100)},
+			Range: rng.Uniform(15, 30),
+		}
+		for _, proto := range []string{"minim", "cp"} {
+			var want toca.Assignment
+			switch proto {
+			case "minim":
+				seq := core.NewFrom(base.Network().Clone(), base.Assignment().Clone())
+				if _, err := seq.Join(joiner, cfg); err != nil {
+					t.Fatal(err)
+				}
+				want = seq.Assignment()
+			case "cp":
+				seq := cp.NewFrom(base.Network().Clone(), base.Assignment().Clone())
+				if _, err := seq.Join(joiner, cfg); err != nil {
+					t.Fatal(err)
+				}
+				want = seq.Assignment()
+			}
+			rt := NewRuntime(rng.Uint64(), base.Network().Clone(), base.Assignment().Clone())
+			rt.Engine.Unreliable(rng.Uint64(), 0.4, 8)
+			if err := rt.StartJoin(joiner, cfg, proto); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Engine.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			got := rt.Assignment()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("it %d proto %s: lossy dist %v, seq %v (%d dropped)", it, proto, got, want, rt.Engine.Dropped)
+			}
+			if !toca.Valid(rt.Net.Graph(), got) {
+				t.Fatalf("it %d proto %s: invalid assignment under loss", it, proto)
+			}
+		}
+	}
+}
+
+// TestDropBudgetBounded: with drop probability 1, every message is
+// delivered after exactly maxDrops losses — the retry budget bounds the
+// degradation instead of livelocking.
+func TestDropBudgetBounded(t *testing.T) {
+	rng := xrand.New(23)
+	base := buildBase(rng, 15, 80)
+	rt := NewRuntime(7, base.Network(), base.Assignment())
+	rt.Engine.Unreliable(7, 1.0, 3)
+	joiner := graph.NodeID(99)
+	cfg := adhoc.Config{Pos: geom.Point{X: 40, Y: 40}, Range: 25}
+	if err := rt.StartJoin(joiner, cfg, "minim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Engine.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Engine.Dropped != 3*rt.Engine.Delivered {
+		t.Fatalf("dropped %d, delivered %d: budget not exhausted per message",
+			rt.Engine.Dropped, rt.Engine.Delivered)
+	}
+	if !toca.Valid(rt.Net.Graph(), rt.Assignment()) {
+		t.Fatal("assignment invalid after exhausted retry budget")
+	}
+	if rt.Node(joiner).Color() == toca.None {
+		t.Fatal("joiner uncolored after exhausted retry budget")
+	}
+}
+
 // TestStartJoinErrors: duplicate joiners and unknown protocols error.
 func TestStartJoinErrors(t *testing.T) {
 	rng := xrand.New(4)

@@ -39,9 +39,36 @@
 // states) from the log alone — the basis for sharding runs across
 // workers and serving concurrent read-only sessions later.
 //
+// # Sharded runs
+//
+// internal/shard partitions a run across engines by arena region: one
+// engine (with its own subscriber set) per region of a configurable
+// grid, executing on worker goroutines, plus a global mirror engine
+// kept current for every event. The routing rule is geometric: an event
+// at position p reads colors only within 3*Rmax of p and recolors only
+// within Rmax (Rmax the monotone maximum range — the batch.Plan
+// independence certificate restated for borders), so an event whose
+// 3*Rmax ball lies inside its region runs concurrently on that region's
+// shard, while an event whose ball crosses a region border is escalated
+// to the serialized border lane: all shard workers drain (barrier),
+// buffered shard recodings fold into per-strategy global assignments,
+// and the event executes on the mirror with writebacks to the owning
+// shards. Each shard engine's append-only log plus the mirror's
+// total-order log make the whole run deterministically replayable
+// (shard.Replay), and sharded results are bit-identical to a
+// single-engine run — the differential tests in internal/shard assert
+// identical digraphs, assignments, and metrics at every phase boundary.
+// Centralized strategies (BBB recolors the whole conflict graph) run on
+// a dedicated full-replica lane fed every event in order.
+//
+// CommitPrepared and CommitTopology are the engine-side seams the
+// coordinator uses: the former applies and logs an event returning its
+// Delta without subscriber fanout (batch waves, border writebacks), the
+// latter skips the Delta captures entirely (mirror updates for interior
+// events, whose recoding happens on the owning shard).
+//
 // # Open follow-ons
 //
-// Sharded runs (partition the event log by arena region, one engine per
-// shard) and inhomogeneous Poisson arrival workloads (arXiv:1901.10754)
-// ride on this package; see ROADMAP.md.
+// Concurrent read-only sessions (overlap the strategies' recodings per
+// event) remain open; see ROADMAP.md.
 package engine

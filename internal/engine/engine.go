@@ -195,6 +195,35 @@ func (e *Engine) CommitPrepared(ev strategy.Event, allowSubs int) (Delta, error)
 	return d, nil
 }
 
+// CommitTopology applies an event's topology change and log entry
+// without computing the Delta's pre- and post-state captures (partition,
+// conflict neighborhoods) — the cheap path for a mirror replica whose
+// recoding happens elsewhere (the shard coordinator's interior events).
+// It has the same subscriber-acknowledgment contract as CommitPrepared.
+func (e *Engine) CommitTopology(ev strategy.Event, allowSubs int) error {
+	if len(e.subs) > allowSubs {
+		return fmt.Errorf("engine: CommitTopology with %d unacknowledged subscribers", len(e.subs)-allowSubs)
+	}
+	var err error
+	switch ev.Kind {
+	case strategy.Join:
+		err = e.net.Join(ev.ID, ev.Cfg)
+	case strategy.Leave:
+		err = e.net.Leave(ev.ID)
+	case strategy.Move:
+		err = e.net.Move(ev.ID, ev.Pos)
+	case strategy.PowerChange:
+		err = e.net.SetRange(ev.ID, ev.R)
+	default:
+		err = fmt.Errorf("engine: unknown event kind %v", ev.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	e.log = append(e.log, ev)
+	return nil
+}
+
 // Replay reconstructs a run from an event log: it builds a fresh engine,
 // asks mk for the subscribers to host on its network (mk may be nil for
 // a topology-only replay), and applies every event. This is the

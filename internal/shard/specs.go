@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/adhoc"
+	"repro/internal/bbb"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/toca"
+)
+
+// DefaultSpecs resolves strategy names ("Minim", "CP", "CP-strict",
+// "BBB") to hosted specs. Minim and CP are interference-local (their
+// recodings live inside the routing ball, per the paper's locality
+// theorems); BBB recolors the whole conflict graph and therefore runs on
+// the global lane.
+func DefaultSpecs(names ...string) ([]Spec, error) {
+	specs := make([]Spec, 0, len(names))
+	for _, name := range names {
+		switch name {
+		case "Minim":
+			specs = append(specs, Spec{
+				Name:  name,
+				Local: true,
+				New: func(net *adhoc.Network, assign toca.Assignment) Hosted {
+					return core.NewFrom(net, assign)
+				},
+			})
+		case "CP":
+			specs = append(specs, Spec{
+				Name:  name,
+				Local: true,
+				New: func(net *adhoc.Network, assign toca.Assignment) Hosted {
+					return cp.NewFrom(net, assign)
+				},
+			})
+		case "CP-strict":
+			specs = append(specs, Spec{
+				Name:  name,
+				Local: true,
+				New: func(net *adhoc.Network, assign toca.Assignment) Hosted {
+					s := cp.NewFrom(net, assign)
+					s.StrictMove = true
+					return s
+				},
+			})
+		case "BBB":
+			specs = append(specs, Spec{
+				Name:  name,
+				Local: false,
+				New: func(net *adhoc.Network, assign toca.Assignment) Hosted {
+					return bbb.NewFrom(net, assign)
+				},
+			})
+		default:
+			return nil, fmt.Errorf("shard: unknown strategy %q", name)
+		}
+	}
+	return specs, nil
+}

@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// TestRunPhasesShardedMatchesRunPhases: the sharded entry point yields
+// the exact PhaseResults of the single-engine entry point, for all
+// three strategies, on a join base followed by a movement phase.
+func TestRunPhasesShardedMatchesRunPhases(t *testing.T) {
+	p := workload.Defaults()
+	p.N = 40
+	p.MaxDisp = 30
+	p.RoundNo = 2
+	base := workload.JoinScript(5, p)
+	phase := workload.MoveScript(5, p)
+
+	want, err := RunPhases(AllStrategies, base, phase, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grid := range []struct{ gx, gy int }{{1, 1}, {2, 2}} {
+		cfg := shard.Config{GridX: grid.gx, GridY: grid.gy, ArenaW: p.ArenaW, ArenaH: p.ArenaH}
+		got, err := RunPhasesSharded(AllStrategies, base, phase, true, cfg)
+		if err != nil {
+			t.Fatalf("grid %dx%d: %v", grid.gx, grid.gy, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("grid %dx%d: sharded results %+v, want %+v", grid.gx, grid.gy, got, want)
+		}
+	}
+}

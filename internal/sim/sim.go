@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cp"
 	"repro/internal/engine"
+	"repro/internal/shard"
 	"repro/internal/strategy"
 	"repro/internal/toca"
 )
@@ -282,4 +283,64 @@ func RunPhases(names []StrategyName, base, phase []strategy.Event, validate bool
 // Run drives a single-phase script (base only) for each strategy.
 func Run(names []StrategyName, events []strategy.Event, validate bool) ([]PhaseResult, error) {
 	return RunPhases(names, events, nil, validate)
+}
+
+// RunPhasesSharded is RunPhases on the region-partitioned parallel
+// runtime (internal/shard): the arena is split into cfg's grid of
+// regions, interference-local strategies execute interior events on one
+// worker per shard, and border events plus centralized strategies are
+// serialized — with results bit-identical to RunPhases. cfg.Validate is
+// overridden by the validate argument for signature parity.
+func RunPhasesSharded(names []StrategyName, base, phase []strategy.Event, validate bool, cfg shard.Config) ([]PhaseResult, error) {
+	strs := make([]string, len(names))
+	for i, n := range names {
+		strs[i] = string(n)
+	}
+	specs, err := shard.DefaultSpecs(strs...)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Validate = validate
+	coord, err := shard.New(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	snapshotOf := func(name StrategyName) (Snapshot, error) {
+		s, ok, err := coord.SnapshotOf(string(name))
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if !ok {
+			return Snapshot{}, fmt.Errorf("sim: strategy %q not hosted", name)
+		}
+		return Snapshot{TotalRecodings: s.TotalRecodings, MaxColor: s.MaxColor, Nodes: s.Nodes}, nil
+	}
+	if err := coord.Apply(base); err != nil {
+		return nil, fmt.Errorf("base phase: %w", err)
+	}
+	if _, err := coord.Mark(); err != nil {
+		return nil, err
+	}
+	afterBase := make([]Snapshot, len(names))
+	for i, name := range names {
+		if afterBase[i], err = snapshotOf(name); err != nil {
+			return nil, err
+		}
+	}
+	if err := coord.Apply(phase); err != nil {
+		return nil, fmt.Errorf("second phase: %w", err)
+	}
+	if _, err := coord.Mark(); err != nil {
+		return nil, err
+	}
+	results := make([]PhaseResult, 0, len(names))
+	for i, name := range names {
+		final, err := snapshotOf(name)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, PhaseResult{Name: name, AfterBase: afterBase[i], Final: final})
+	}
+	return results, nil
 }

@@ -14,6 +14,8 @@ package toca
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/graph"
@@ -234,51 +236,114 @@ func insertSortedID(s []graph.NodeID, id graph.NodeID) []graph.NodeID {
 	return s
 }
 
-// ColorSet is a set of colors, used for forbidden/constraint sets.
-type ColorSet map[Color]struct{}
+// ColorSet is a set of colors, used for forbidden/constraint sets. It is
+// backed by a bitmap rather than a hash map: color indices are small
+// dense positive integers (bounded by the running max color index), so
+// membership is one bit test and insertion one bit set — the dominant
+// cost of the Forbidden constraint walk, which revisits each
+// co-transmitter once per shared receiver. Construct with NewColorSet;
+// the zero value is a valid empty read-only set.
+type ColorSet struct {
+	b *colorBits
+}
 
-// Add inserts c (None is ignored).
+// colorBits is the shared backing store: color c occupies bit c-1 of
+// words. Sets only grow (Clear resets in place), so max and n are
+// maintained incrementally.
+type colorBits struct {
+	words []uint64
+	n     int   // number of distinct colors present
+	max   Color // largest color present, None when empty
+}
+
+// NewColorSet returns an empty mutable color set.
+func NewColorSet() ColorSet {
+	return ColorSet{b: &colorBits{}}
+}
+
+// Add inserts c (None is ignored). The set must have been created with
+// NewColorSet; Add on a zero-value ColorSet panics, matching the old
+// map-backed behavior of inserting into a nil map.
 func (s ColorSet) Add(c Color) {
-	if c != None {
-		s[c] = struct{}{}
+	if c <= None {
+		return
+	}
+	w, bit := int(c-1)>>6, uint(c-1)&63
+	for w >= len(s.b.words) {
+		s.b.words = append(s.b.words, 0)
+	}
+	if s.b.words[w]&(1<<bit) == 0 {
+		s.b.words[w] |= 1 << bit
+		s.b.n++
+		if c > s.b.max {
+			s.b.max = c
+		}
 	}
 }
 
 // Has reports whether c is in the set.
 func (s ColorSet) Has(c Color) bool {
-	_, ok := s[c]
-	return ok
+	if s.b == nil || c <= None {
+		return false
+	}
+	w := int(c-1) >> 6
+	return w < len(s.b.words) && s.b.words[w]&(1<<(uint(c-1)&63)) != 0
+}
+
+// Len returns the number of colors in the set.
+func (s ColorSet) Len() int {
+	if s.b == nil {
+		return 0
+	}
+	return s.b.n
+}
+
+// Clear empties the set in place, keeping its capacity.
+func (s ColorSet) Clear() {
+	if s.b == nil {
+		return
+	}
+	for i := range s.b.words {
+		s.b.words[i] = 0
+	}
+	s.b.n = 0
+	s.b.max = None
 }
 
 // Max returns the largest color in the set, or None if empty.
 func (s ColorSet) Max() Color {
-	max := None
-	for c := range s {
-		if c > max {
-			max = c
-		}
+	if s.b == nil {
+		return None
 	}
-	return max
+	return s.b.max
 }
 
 // Sorted returns the set's colors ascending.
 func (s ColorSet) Sorted() []Color {
-	out := make([]Color, 0, len(s))
-	for c := range s {
-		out = append(out, c)
+	if s.b == nil {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]Color, 0, s.b.n)
+	for w, word := range s.b.words {
+		for ; word != 0; word &= word - 1 {
+			out = append(out, Color(w<<6+bits.TrailingZeros64(word)+1))
+		}
+	}
 	return out
 }
 
 // LowestFree returns the smallest positive color not in the set — the
 // "lowest available color" rule used by CP and RecodeOnPowIncrease.
 func (s ColorSet) LowestFree() Color {
-	for c := Color(1); ; c++ {
-		if !s.Has(c) {
-			return c
+	if s.b == nil {
+		return 1
+	}
+	for w, word := range s.b.words {
+		if word != math.MaxUint64 {
+			return Color(w<<6 + bits.TrailingZeros64(^word) + 1)
 		}
 	}
+	return Color(len(s.b.words)<<6 + 1)
 }
 
 // Forbidden returns the colors node u may not take, considering only
@@ -292,7 +357,7 @@ func (s ColorSet) LowestFree() Color {
 // Revisiting a co-transmitter through several shared receivers is
 // harmless — ColorSet.Add is idempotent.
 func Forbidden(g *graph.Digraph, a Assignment, u graph.NodeID, exclude map[graph.NodeID]struct{}) ColorSet {
-	set := make(ColorSet)
+	set := NewColorSet()
 	add := func(v graph.NodeID) {
 		if exclude != nil {
 			if _, skip := exclude[v]; skip {

@@ -195,13 +195,13 @@ func TestForbidden(t *testing.T) {
 }
 
 func TestColorSet(t *testing.T) {
-	s := make(ColorSet)
+	s := NewColorSet()
 	s.Add(None) // ignored
 	s.Add(3)
 	s.Add(1)
 	s.Add(3) // dup
-	if len(s) != 2 {
-		t.Fatalf("len = %d", len(s))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
 	}
 	if !s.Has(1) || s.Has(2) {
 		t.Fatal("Has wrong")
@@ -224,6 +224,34 @@ func TestColorSet(t *testing.T) {
 	}
 	if (ColorSet{}).LowestFree() != 1 {
 		t.Fatal("empty LowestFree != 1")
+	}
+	// Word-boundary behavior: a fully packed first word rolls LowestFree
+	// into the second.
+	full := NewColorSet()
+	for c := Color(1); c <= 64; c++ {
+		full.Add(c)
+	}
+	if full.LowestFree() != 65 {
+		t.Fatalf("packed LowestFree = %d, want 65", full.LowestFree())
+	}
+	full.Add(66)
+	if full.LowestFree() != 65 {
+		t.Fatalf("LowestFree with gap = %d, want 65", full.LowestFree())
+	}
+	if full.Max() != 66 || full.Len() != 65 {
+		t.Fatalf("Max/Len = %d/%d, want 66/65", full.Max(), full.Len())
+	}
+	if got := full.Sorted(); got[len(got)-1] != 66 || len(got) != 65 {
+		t.Fatalf("Sorted tail = %v", got[len(got)-5:])
+	}
+	// Clear keeps the set usable.
+	full.Clear()
+	if full.Len() != 0 || full.Max() != None || full.LowestFree() != 1 {
+		t.Fatal("Clear did not empty the set")
+	}
+	full.Add(2)
+	if !full.Has(2) || full.Has(1) {
+		t.Fatal("post-Clear Add broken")
 	}
 }
 
