@@ -1,0 +1,69 @@
+// Command cdmaserved serves the multi-tenant session service over
+// HTTP/JSON: many independent simulation sessions in one process, each
+// with a durable WAL, crash recovery, and lock-free read snapshots (see
+// internal/serve for the full API and semantics).
+//
+// Usage:
+//
+//	cdmaserved [-addr :8080] [-dir cdmaserved-data]
+//
+// Sessions persist one WAL file each under -dir (empty disables
+// durability); POST /v1/sessions with {"recover": true} reopens a
+// session from its WAL after a restart. SIGINT/SIGTERM drain every
+// session (final snapshot + WAL compaction) before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		dir  = flag.String("dir", "cdmaserved-data", "WAL directory (empty disables durability)")
+	)
+	flag.Parse()
+
+	m := serve.NewManager(*dir)
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("cdmaserved: listening on %s (wal dir %q)\n", *addr, *dir)
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Println("cdmaserved: draining sessions...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	if err := m.CloseAll(); err != nil {
+		fail(err)
+	}
+	fmt.Println("cdmaserved: bye")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "cdmaserved: %v\n", err)
+	os.Exit(1)
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/shard"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 	"repro/internal/toca"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -53,6 +54,9 @@ func main() {
 		arena    = flag.Float64("arena", 100, "arena side length")
 		shards   = flag.Int("shards", 1, "region shards (>1 runs the parallel sharded runtime)")
 		hotspots = flag.Int("hotspots", 0, "IPPP joins: number of Gaussian hot spots (0 = uniform; workload is independent of -shards)")
+		sessions = flag.Int("serve-sessions", 0, "load-generator mode: drive this many concurrent serve sessions with IPPP traffic")
+		readers  = flag.Int("serve-readers", 2, "load-generator mode: concurrent snapshot readers per session")
+		serveDir = flag.String("serve-dir", "", "load-generator mode: WAL directory (empty disables durability)")
 		verbose  = flag.Bool("v", false, "per-event output")
 	)
 	flag.Parse()
@@ -64,19 +68,14 @@ func main() {
 	p.ArenaW, p.ArenaH = *arena, *arena
 	gx, gy := gridFor(*shards)
 
-	events := workload.JoinScript(*seed, p)
-	if *hotspots > 0 {
-		if *churn > 0 {
-			// Churn regenerates its own uniform join base internally, so
-			// combining the two would silently drop the hot-spot density.
-			fail(fmt.Errorf("-hotspots and -churn cannot be combined (churn uses a uniform join base)"))
-		}
-		hx, hy := gridFor(*hotspots)
-		d := workload.Density{Spots: workload.GridSpots(hx, hy, p.ArenaW, p.ArenaH, *arena/float64(3*hx), 1)}
-		events = workload.IPPPJoinScript(*seed, p, d)
+	if *sessions > 0 {
+		runServeLoad(p, *sessions, *readers, *churn, *hotspots, *seed, *serveDir, *verbose)
+		return
 	}
-	if *churn > 0 {
-		events = workload.Churn(*seed, p, *churn, workload.ChurnWeights{Join: 1, Leave: 1, Move: 3, Power: 2})
+
+	events, err := buildScript(*seed, p, *churn, *hotspots)
+	if err != nil {
+		fail(err)
 	}
 	if *replay != "" {
 		f, err := os.Open(*replay)
@@ -219,6 +218,25 @@ func main() {
 type networkView struct {
 	net    *adhoc.Network
 	assign toca.Assignment
+}
+
+// buildScript generates one run's workload: IPPP hot-spot joins, a
+// churn mix, or plain uniform joins. Hot spots and churn cannot be
+// combined — churn regenerates its own uniform join base internally, so
+// the combination would silently drop the hot-spot density.
+func buildScript(seed uint64, p workload.Params, churn, hotspots int) ([]strategy.Event, error) {
+	if hotspots > 0 {
+		if churn > 0 {
+			return nil, fmt.Errorf("-hotspots and -churn cannot be combined (churn uses a uniform join base)")
+		}
+		hx, hy := gridFor(hotspots)
+		d := workload.Density{Spots: workload.GridSpots(hx, hy, p.ArenaW, p.ArenaH, p.ArenaW/float64(3*hx), 1)}
+		return workload.IPPPJoinScript(seed, p, d), nil
+	}
+	if churn > 0 {
+		return workload.Churn(seed, p, churn, workload.ChurnWeights{Join: 1, Leave: 1, Move: 3, Power: 2}), nil
+	}
+	return workload.JoinScript(seed, p), nil
 }
 
 // gridFor factors a shard count into the most square gx x gy grid.

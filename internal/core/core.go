@@ -51,6 +51,10 @@ type Recoder struct {
 	net    *adhoc.Network
 	assign toca.Assignment
 	shared bool // network is engine-owned; Apply must not mutate it
+	// scratch is the Hungarian solver's reusable working memory: one
+	// recoder runs its matchings sequentially, so the dense matrices are
+	// allocated once per recoder instead of once per event.
+	scratch *matching.Scratch
 }
 
 var _ strategy.Strategy = (*Recoder)(nil)
@@ -58,20 +62,22 @@ var _ engine.Subscriber = (*Recoder)(nil)
 
 // New returns a Minim recoder over an empty network.
 func New() *Recoder {
-	return &Recoder{net: adhoc.New(), assign: make(toca.Assignment)}
+	return NewFrom(adhoc.New(), make(toca.Assignment))
 }
 
 // NewFrom returns a Minim recoder adopting an existing network and
 // assignment (both are used directly, not copied).
 func NewFrom(net *adhoc.Network, assign toca.Assignment) *Recoder {
-	return &Recoder{net: net, assign: assign}
+	return &Recoder{net: net, assign: assign, scratch: matching.NewScratch()}
 }
 
 // NewShared returns a Minim recoder reading an engine-owned network. It
 // never mutates the topology; subscribe it to the owning engine and
 // drive it through OnDelta.
 func NewShared(net *adhoc.Network) *Recoder {
-	return &Recoder{net: net, assign: make(toca.Assignment), shared: true}
+	r := NewFrom(net, make(toca.Assignment))
+	r.shared = true
+	return r
 }
 
 // Name implements strategy.Strategy.
@@ -180,7 +186,7 @@ func (r *Recoder) recodeLocal(n graph.NodeID, inOrBoth []graph.NodeID) map[graph
 	}
 
 	// Steps 3-5 are the pure matching computation.
-	newColors := Solve(v1, old, forb)
+	newColors := solveWeighted(r.scratch, v1, old, forb, weightOld, weightNew)
 	recoded := make(map[graph.NodeID]toca.Color)
 	for _, u := range v1 {
 		c := newColors[u]
@@ -215,6 +221,16 @@ func Solve(v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[graph.No
 // wOld > 2*wNew, and running the recoder with wOld = 2 or wOld = 1
 // demonstrates how the guarantee degrades.
 func SolveWeighted(v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[graph.NodeID]toca.ColorSet, wOld, wNew int64) map[graph.NodeID]toca.Color {
+	return solveWeighted(nil, v1, old, forb, wOld, wNew)
+}
+
+// solveWeighted is the shared implementation. With a nil scratch every
+// call allocates fresh solver state (the pure-function path Solve and the
+// dist protocols use); with a scratch the edge list and the Hungarian
+// matrices are reused across calls. Both paths return the identical
+// matching — the scratch solver is a buffer-for-buffer transcription
+// with the same tie-breaking, differentially tested in internal/matching.
+func solveWeighted(s *matching.Scratch, v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[graph.NodeID]toca.ColorSet, wOld, wNew int64) map[graph.NodeID]toca.Color {
 	maxC := toca.None
 	for _, u := range v1 {
 		if m := forb[u].Max(); m > maxC {
@@ -226,6 +242,9 @@ func SolveWeighted(v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[
 	}
 
 	var edges []matching.Edge
+	if s != nil {
+		edges = s.Edges[:0]
+	}
 	for i, u := range v1 {
 		for c := toca.Color(1); c <= maxC; c++ {
 			if forb[u].Has(c) {
@@ -239,7 +258,13 @@ func SolveWeighted(v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[
 		}
 	}
 
-	res := matching.MaxWeight(len(v1), int(maxC), edges)
+	var res matching.Result
+	if s != nil {
+		s.Edges = edges
+		res = s.MaxWeight(len(v1), int(maxC), edges)
+	} else {
+		res = matching.MaxWeight(len(v1), int(maxC), edges)
+	}
 	out := make(map[graph.NodeID]toca.Color, len(v1))
 	next := maxC
 	for i, u := range v1 {

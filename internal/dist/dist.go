@@ -32,26 +32,38 @@ import (
 )
 
 // message is one in-flight protocol message. The handler runs when the
-// engine delivers it; From/To/Kind exist for tracing and accounting, and
-// drops counts how many delivery attempts were lost so far.
+// engine delivers it; From/To/Kind exist for tracing and accounting,
+// drops counts how many delivery attempts were lost so far, and seq is
+// the sender-assigned sequence number the receiver-side duplicate filter
+// keys on.
 type message struct {
 	From, To graph.NodeID
 	Kind     string
 	handler  func()
 	drops    int
+	seq      int
 }
 
 // Engine is the FIFO delivery engine: messages are delivered in send
 // order, one at a time (the sequential-consistency setting of the
-// paper's protocol arguments). Delivered counts every delivery across
-// the runtime's lifetime; Dropped counts lost attempts in lossy mode.
+// paper's protocol arguments). Delivered counts every handler-running
+// delivery across the runtime's lifetime; Dropped counts lost attempts
+// in lossy mode; Duplicated counts injected duplicate copies and Deduped
+// the deliveries the receiver-side filter suppressed.
 type Engine struct {
-	queue     []message
-	Delivered int
-	Dropped   int
-	dropRng   *xrand.RNG
-	dropProb  float64
-	maxDrops  int
+	queue      []message
+	Delivered  int
+	Dropped    int
+	Duplicated int
+	Deduped    int
+	nextSeq    int
+	dropRng    *xrand.RNG
+	dropProb   float64
+	maxDrops   int
+	dupRng     *xrand.RNG
+	dupProb    float64
+	maxDups    int
+	seen       map[int]struct{}
 }
 
 // Unreliable switches delivery to a lossy link: each attempt is lost
@@ -69,8 +81,39 @@ func (e *Engine) Unreliable(seed uint64, p float64, maxDrops int) {
 	e.maxDrops = maxDrops
 }
 
-// send enqueues a message for later delivery.
-func (e *Engine) send(m message) { e.queue = append(e.queue, m) }
+// Duplicate switches delivery to an at-least-once link: after each
+// successful delivery the link re-delivers a copy with probability p
+// (deterministically from seed), up to maxDups copies per message. The
+// protocol handlers are reply-counting state machines — an unfiltered
+// duplicate "color!" would decrement a coordinator's reply count twice
+// and corrupt the gathered inputs — so the engine runs the standard
+// exactly-once filter at the receiver: every message carries a
+// sender-assigned sequence number, and a delivery whose number was
+// already handled is counted in Deduped and suppressed. That filter is
+// what makes every handler idempotent; the fault-injection tests assert
+// both protocols still converge to exact sequential parity, and that
+// duplicates actually flowed (Duplicated > 0). Compose with Unreliable
+// for a link that both loses and repeats messages.
+func (e *Engine) Duplicate(seed uint64, p float64, maxDups int) {
+	e.dupRng = xrand.New(seed)
+	e.dupProb = p
+	e.maxDups = maxDups
+	if e.seen == nil {
+		e.seen = make(map[int]struct{})
+	}
+}
+
+// send enqueues a message for later delivery, stamping its sequence
+// number.
+func (e *Engine) send(m message) {
+	m.seq = e.nextSeq
+	e.nextSeq++
+	e.queue = append(e.queue, m)
+}
+
+// resend re-enqueues an existing message (retransmission or duplicate
+// copy) without assigning a fresh sequence number.
+func (e *Engine) resend(m message) { e.queue = append(e.queue, m) }
 
 // Pending returns the number of undelivered messages.
 func (e *Engine) Pending() int { return len(e.queue) }
@@ -89,11 +132,29 @@ func (e *Engine) Run(limit int) error {
 			// Lost in flight: the sender times out and retransmits.
 			e.Dropped++
 			m.drops++
-			e.send(m)
+			e.resend(m)
 			continue
+		}
+		if e.seen != nil {
+			if _, dup := e.seen[m.seq]; dup {
+				// Receiver-side exactly-once filter: already handled.
+				e.Deduped++
+				continue
+			}
+			e.seen[m.seq] = struct{}{}
 		}
 		e.Delivered++
 		m.handler()
+		if e.dupRng != nil {
+			// At-least-once link: the copy keeps its sequence number, so
+			// the receiver filter (not luck) is what preserves semantics.
+			for c := 0; c < e.maxDups && e.dupRng.Float64() < e.dupProb; c++ {
+				e.Duplicated++
+				cp := m
+				cp.drops = 0
+				e.resend(cp)
+			}
+		}
 	}
 	return nil
 }

@@ -225,3 +225,113 @@ func TestStartJoinErrors(t *testing.T) {
 		t.Fatal("unknown protocol did not error")
 	}
 }
+
+// TestDuplicatedMessagesConverge: with an at-least-once link re-delivering
+// messages, both join protocols converge to the exact sequential
+// assignment — the receiver-side sequence-number filter makes every
+// handler idempotent, so duplicates are absorbed rather than corrupting
+// the reply-counting coordinators.
+func TestDuplicatedMessagesConverge(t *testing.T) {
+	rng := xrand.New(29)
+	sawDup, sawDedup := false, false
+	for it := 0; it < 20; it++ {
+		n := 5 + rng.Intn(25)
+		base := buildBase(rng, n, 100)
+		joiner := graph.NodeID(n + 1)
+		cfg := adhoc.Config{
+			Pos:   geom.Point{X: rng.Uniform(0, 100), Y: rng.Uniform(0, 100)},
+			Range: rng.Uniform(15, 30),
+		}
+		for _, proto := range []string{"minim", "cp"} {
+			var want toca.Assignment
+			switch proto {
+			case "minim":
+				seq := core.NewFrom(base.Network().Clone(), base.Assignment().Clone())
+				if _, err := seq.Join(joiner, cfg); err != nil {
+					t.Fatal(err)
+				}
+				want = seq.Assignment()
+			case "cp":
+				seq := cp.NewFrom(base.Network().Clone(), base.Assignment().Clone())
+				if _, err := seq.Join(joiner, cfg); err != nil {
+					t.Fatal(err)
+				}
+				want = seq.Assignment()
+			}
+			rt := NewRuntime(rng.Uint64(), base.Network().Clone(), base.Assignment().Clone())
+			rt.Engine.Duplicate(rng.Uint64(), 0.4, 4)
+			if err := rt.StartJoin(joiner, cfg, proto); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Engine.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			got := rt.Assignment()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("it %d proto %s: duplicating dist %v, seq %v (%d duplicated)",
+					it, proto, got, want, rt.Engine.Duplicated)
+			}
+			if !toca.Valid(rt.Net.Graph(), got) {
+				t.Fatalf("it %d proto %s: invalid assignment under duplication", it, proto)
+			}
+			if rt.Engine.Duplicated != rt.Engine.Deduped {
+				t.Fatalf("it %d proto %s: %d duplicates injected but %d suppressed",
+					it, proto, rt.Engine.Duplicated, rt.Engine.Deduped)
+			}
+			sawDup = sawDup || rt.Engine.Duplicated > 0
+			sawDedup = sawDedup || rt.Engine.Deduped > 0
+		}
+	}
+	if !sawDup || !sawDedup {
+		t.Fatalf("fault injection never fired (dup=%v dedup=%v)", sawDup, sawDedup)
+	}
+}
+
+// TestDuplicateAndLossCompose: a link that both loses and repeats
+// messages still converges to sequential parity — retransmission supplies
+// at-least-once delivery, the sequence-number filter trims it back to
+// exactly-once.
+func TestDuplicateAndLossCompose(t *testing.T) {
+	rng := xrand.New(31)
+	for it := 0; it < 10; it++ {
+		n := 5 + rng.Intn(20)
+		base := buildBase(rng, n, 100)
+		joiner := graph.NodeID(n + 1)
+		cfg := adhoc.Config{
+			Pos:   geom.Point{X: rng.Uniform(0, 100), Y: rng.Uniform(0, 100)},
+			Range: rng.Uniform(15, 30),
+		}
+		for _, proto := range []string{"minim", "cp"} {
+			seqMinim := core.NewFrom(base.Network().Clone(), base.Assignment().Clone())
+			seqCP := cp.NewFrom(base.Network().Clone(), base.Assignment().Clone())
+			var want toca.Assignment
+			if proto == "minim" {
+				if _, err := seqMinim.Join(joiner, cfg); err != nil {
+					t.Fatal(err)
+				}
+				want = seqMinim.Assignment()
+			} else {
+				if _, err := seqCP.Join(joiner, cfg); err != nil {
+					t.Fatal(err)
+				}
+				want = seqCP.Assignment()
+			}
+			rt := NewRuntime(rng.Uint64(), base.Network().Clone(), base.Assignment().Clone())
+			rt.Engine.Unreliable(rng.Uint64(), 0.3, 6)
+			rt.Engine.Duplicate(rng.Uint64(), 0.3, 3)
+			if err := rt.StartJoin(joiner, cfg, proto); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Engine.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if got := rt.Assignment(); !reflect.DeepEqual(want, got) {
+				t.Fatalf("it %d proto %s: dup+loss dist %v, seq %v (dropped %d, duplicated %d)",
+					it, proto, got, want, rt.Engine.Dropped, rt.Engine.Duplicated)
+			}
+			if !toca.Valid(rt.Net.Graph(), rt.Assignment()) {
+				t.Fatalf("it %d proto %s: invalid assignment under dup+loss", it, proto)
+			}
+		}
+	}
+}

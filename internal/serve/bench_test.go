@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// BenchmarkServeReads measures snapshot-read throughput with 1, 4, and
+// 16 concurrent readers while a writer continuously applies move events.
+// Reads are served from the atomically-swapped immutable view — no
+// reader takes a lock and none blocks the writer — so ns/op per read
+// should stay flat as readers are added (on multi-core hardware total
+// read throughput then scales with reader count; on a single-core
+// container flat ns/op is the observable).
+func BenchmarkServeReads(b *testing.B) {
+	for _, readers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			benchServeReads(b, readers)
+		})
+	}
+}
+
+func benchServeReads(b *testing.B, readers int) {
+	s, err := newSession("bench", Config{Strategies: []string{"Minim"}, Mailbox: 1024}, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	p := workload.Defaults()
+	p.N = 200
+	for _, ev := range workload.JoinScript(5, p) {
+		if err := s.Apply(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Background writer: a steady stream of move events.
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		rng := xrand.New(77)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ev := strategy.MoveEvent(graph.NodeID(rng.Intn(200)),
+				geom.Point{X: rng.Uniform(0, p.ArenaW), Y: rng.Uniform(0, p.ArenaH)})
+			if err := s.Submit(ev); err != nil && !errors.Is(err, ErrBackpressure) {
+				return
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/readers + 1
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			for i := 0; i < per; i++ {
+				v := s.View()
+				id := graph.NodeID(rng.Intn(200))
+				v.ColorOf("Minim", id)
+				v.Config(id)
+				if i%16 == 0 {
+					v.ConflictNeighbors(id)
+				}
+			}
+		}(uint64(r + 1))
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(stop)
+	writerWG.Wait()
+}

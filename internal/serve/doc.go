@@ -1,0 +1,72 @@
+// Package serve turns the reproduction into a long-running service: a
+// multi-tenant session manager hosting many independent simulation
+// sessions in one process, each with a durable write-ahead log, crash
+// recovery, and lock-free read snapshots.
+//
+// # Lifecycle
+//
+// A Manager owns the registry. Manager.Create starts a fresh Session;
+// Manager.Open recovers one from its WAL after a crash or restart;
+// Manager.Close drains it, writes a final snapshot, and releases it.
+// Each session hosts the configured recoding strategies (Minim, CP, BBB
+// by default) on one shared incremental engine (internal/engine) — or,
+// when Config.ExpectedNodes reaches Config.ShardThreshold, on the
+// region-partitioned parallel runtime (internal/shard).
+//
+// # Writer model and admission control
+//
+// Every session has exactly ONE writer: a goroutine draining a bounded
+// mailbox. Submit/Apply enqueue events; when the mailbox is full they
+// fail fast with ErrBackpressure instead of queueing unboundedly — the
+// caller (or the HTTP front end, as 429) backs off and retries. The
+// single-writer discipline means the engine, the strategies, the WAL,
+// and the view publication never need locks of their own.
+//
+// # Read snapshots
+//
+// Queries never touch the writer's state. After every applied event the
+// writer publishes an immutable View through an atomic pointer swap;
+// readers load the pointer and query assignments, per-strategy metrics,
+// node configurations, and conflict neighborhoods at their own pace —
+// no reader ever blocks the writer or another reader. Views are layered
+// copy-on-write maps (shared base + small overlay of recent changes,
+// folded at ~2*sqrt(n) entries), so publication costs O(sqrt(n))
+// amortized rather than a full O(n) clone per event. Watch subscribes
+// to a stream of assignment-change deltas; a subscriber that lags
+// beyond its buffer is disconnected and must re-snapshot.
+//
+// Sharded sessions publish views at sync points (mailbox drains and
+// barriers) instead of per event, because interior events recode
+// concurrently across region workers; their Watch deltas arrive
+// coalesced with Delta.Batch set.
+//
+// # WAL format and recovery
+//
+// The WAL is one file per session: newline-delimited JSON in the
+// internal/trace record encoding. Line 1 is a versioned snapshot record
+// (topology + per-strategy assignments and metrics at a log position);
+// every further line is one event record. A record is committed iff its
+// line is newline-terminated and parses — a torn final line is
+// truncated on open, a malformed committed line is corruption and fails
+// loudly. Appends are group-committed (flushed when the mailbox
+// drains; Config.SyncEvery forces per-N-event fsync), and every
+// Config.CompactEvery events the writer captures a fresh snapshot and
+// atomically rewrites the file to a single snapshot line (write temp,
+// fsync, rename).
+//
+// Recovery (Manager.Open) restores the snapshot directly — the network
+// is rebuilt from its configurations, which determine the interference
+// digraph exactly, and assignments and metrics are installed verbatim —
+// then replays the committed tail through the normal recoding path.
+// The result is bit-identical to the pre-crash state and the session
+// accepts further events; the recovery tests assert both. Sharded
+// sessions skip compaction (their snapshot stays at sequence zero) and
+// recover by replaying the whole log through a fresh coordinator, the
+// shard.Replay contract.
+//
+// # Front ends
+//
+// cmd/cdmaserved exposes the manager over HTTP/JSON (NewHandler);
+// cmd/cdmasim -serve-sessions runs a load-generator mode driving many
+// concurrent sessions with IPPP hot-spot traffic.
+package serve

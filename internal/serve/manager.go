@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Manager hosts many independent sessions in one process: create, look
+// up, recover, and close them. Each session is fully isolated — its own
+// backend, mailbox, WAL file, and view — so tenants never contend except
+// on the manager's registry lock (taken only for create/lookup/close,
+// never on the apply or read paths).
+type Manager struct {
+	dir string // WAL root; "" disables durability
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// NewManager returns a manager whose sessions persist their WALs under
+// dir ("" disables durability). The directory is created on first use.
+func NewManager(dir string) *Manager {
+	return &Manager{dir: dir, sessions: make(map[string]*Session)}
+}
+
+// ErrSessionExists rejects creating a session whose ID is taken.
+var ErrSessionExists = errors.New("serve: session already exists")
+
+// ErrNoSession rejects operations on an unknown session ID.
+var ErrNoSession = errors.New("serve: no such session")
+
+func validID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("serve: invalid session id %q", id)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("serve: invalid session id %q", id)
+		}
+	}
+	return nil
+}
+
+func (m *Manager) walPath(id string) (string, error) {
+	if m.dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		return "", err
+	}
+	return filepath.Join(m.dir, id+".wal"), nil
+}
+
+// Create starts a fresh session. Any existing WAL for the ID is
+// truncated.
+func (m *Manager) Create(id string, cfg Config) (*Session, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; ok {
+		return nil, ErrSessionExists
+	}
+	path, err := m.walPath(id)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSession(id, cfg, path)
+	if err != nil {
+		return nil, err
+	}
+	m.sessions[id] = s
+	return s, nil
+}
+
+// Open recovers a session from its WAL (crash recovery or a process
+// restart): the snapshot restores state directly and the committed event
+// tail replays through the normal recoding path, yielding the exact
+// pre-crash state. cfg must name the same strategies the WAL was written
+// with.
+func (m *Manager) Open(id string, cfg Config) (*Session, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	if m.dir == "" {
+		return nil, fmt.Errorf("serve: manager has no WAL directory to open %q from", id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; ok {
+		return nil, ErrSessionExists
+	}
+	path, err := m.walPath(id)
+	if err != nil {
+		return nil, err
+	}
+	s, err := restoreSession(id, cfg, path)
+	if err != nil {
+		return nil, err
+	}
+	m.sessions[id] = s
+	return s, nil
+}
+
+// Get returns a live session.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// List returns the live session IDs, ascending.
+func (m *Manager) List() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Close gracefully stops one session (final snapshot + WAL compaction)
+// and removes it from the registry.
+func (m *Manager) Close(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if !ok {
+		return ErrNoSession
+	}
+	return s.Close()
+}
+
+// CloseAll stops every session, returning the first error.
+func (m *Manager) CloseAll() error {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.sessions = make(map[string]*Session)
+	m.mu.Unlock()
+	var first error
+	for _, s := range ss {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,770 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adhoc"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/shard"
+	"repro/internal/strategy"
+	"repro/internal/toca"
+	"repro/internal/trace"
+)
+
+// Errors returned by the session admission and lifecycle paths.
+var (
+	// ErrBackpressure rejects a submission because the session's mailbox
+	// is full: the caller should back off and retry (HTTP surfaces it as
+	// 429). Admission control is a hard bound — the writer never queues
+	// unboundedly and readers are never blocked by a flooded writer.
+	ErrBackpressure = errors.New("serve: session mailbox full")
+	// ErrClosed rejects operations on a closed session.
+	ErrClosed = errors.New("serve: session closed")
+)
+
+// Config parameterizes one session.
+type Config struct {
+	// Strategies to host, in result order (default Minim, CP, BBB).
+	Strategies []string
+	// Mailbox is the apply-queue capacity (default 256). Submissions
+	// beyond it fail fast with ErrBackpressure.
+	Mailbox int
+	// CompactEvery triggers a WAL snapshot + compaction after that many
+	// events since the last snapshot (default 4096; < 0 disables).
+	// Ignored (disabled) for sharded sessions, which recover by full-log
+	// replay instead.
+	CompactEvery int
+	// SyncEvery forces a WAL flush+fsync every N events (default 0: group
+	// commit at mailbox drains, fsync on compaction and close).
+	SyncEvery int
+	// WatchBuffer is the per-subscriber delta buffer (default 64). A
+	// subscriber that falls further behind is disconnected (its channel
+	// closes) and must re-snapshot and re-subscribe.
+	WatchBuffer int
+	// Validate re-verifies every strategy's CA1/CA2 after every event
+	// (slow; tests).
+	Validate bool
+	// ExpectedNodes sizes the session. When ShardThreshold > 0 and
+	// ExpectedNodes >= ShardThreshold, the session runs on the
+	// region-partitioned shard.Coordinator instead of a single engine.
+	ExpectedNodes  int
+	ShardThreshold int
+	// Shard configures the sharded backend (grid + arena); required when
+	// the threshold selects it.
+	Shard shard.Config
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Strategies) == 0 {
+		c.Strategies = []string{"Minim", "CP", "BBB"}
+	}
+	if c.Mailbox <= 0 {
+		c.Mailbox = 256
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 4096
+	}
+	if c.WatchBuffer <= 0 {
+		c.WatchBuffer = 64
+	}
+	return c
+}
+
+func (c Config) sharded() bool {
+	return c.ShardThreshold > 0 && c.ExpectedNodes >= c.ShardThreshold
+}
+
+// Delta is one assignment-change notification delivered to Watch
+// subscribers: the event (or batch boundary) and, per strategy, the
+// nodes whose codes changed. For sharded sessions deltas are coalesced
+// at sync points (Batch true, Event meaningless) because interior events
+// recode concurrently across regions.
+type Delta struct {
+	Seq     int
+	Event   strategy.Event
+	Batch   bool
+	Recoded map[string]map[graph.NodeID]toca.Color
+}
+
+// watcher is one Watch subscription. Its mutex serializes the writer's
+// sends against cancellation so the channel is never closed mid-send.
+type watcher struct {
+	mu   sync.Mutex
+	ch   chan Delta
+	dead bool
+}
+
+func (w *watcher) deliver(d Delta) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return false
+	}
+	select {
+	case w.ch <- d:
+		return true
+	default:
+		// Lagging subscriber: disconnect rather than block the writer.
+		w.dead = true
+		close(w.ch)
+		return false
+	}
+}
+
+func (w *watcher) stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.dead {
+		w.dead = true
+		close(w.ch)
+	}
+}
+
+type reqKind int
+
+const (
+	reqEvent reqKind = iota
+	reqBarrier
+	reqInspect
+	reqClose
+	reqAbort
+)
+
+type request struct {
+	kind reqKind
+	ev   strategy.Event
+	res  chan error
+	fn   func(*inspectState)
+}
+
+// inspectState hands tests and tools race-safe access to the writer's
+// private state (the callback runs on the writer goroutine, after a
+// shard sync).
+type inspectState struct {
+	eng     *engine.Engine
+	coord   *shard.Coordinator
+	hosted  []shard.Hosted
+	metrics []*strategy.Metrics
+}
+
+// Session hosts one simulation: a single-writer apply loop over a
+// bounded mailbox, an engine (or shard coordinator) backend, a durable
+// WAL, atomically-swapped read Views, and Watch subscriptions.
+type Session struct {
+	id  string
+	cfg Config
+
+	mail chan request
+	view atomic.Pointer[View]
+
+	submitMu sync.RWMutex
+	closed   bool
+
+	watchMu  sync.Mutex
+	watchers []*watcher
+
+	// Writer-goroutine state.
+	seq     int
+	eng     *engine.Engine
+	hosted  []shard.Hosted
+	metrics []*strategy.Metrics
+	coord   *shard.Coordinator
+	pending int // shard events applied since the last view sync
+	peak    []toca.Color
+	wal     *wal
+	err     error
+
+	done chan struct{}
+}
+
+// newSession builds a session over fresh state. walPath == "" disables
+// durability.
+func newSession(id string, cfg Config, walPath string) (*Session, error) {
+	cfg = cfg.withDefaults()
+	s := &Session{id: id, cfg: cfg, mail: make(chan request, cfg.Mailbox), done: make(chan struct{})}
+	specs, err := shard.DefaultSpecs(cfg.Strategies...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.sharded() {
+		sc := cfg.Shard
+		sc.Validate = cfg.Validate
+		s.coord, err = shard.New(sc, specs)
+		if err != nil {
+			return nil, err
+		}
+		s.peak = make([]toca.Color, len(specs))
+	} else {
+		s.eng = engine.New()
+		for _, spec := range specs {
+			h := spec.New(s.eng.Network(), make(toca.Assignment))
+			s.eng.Subscribe(h)
+			s.hosted = append(s.hosted, h)
+		}
+	}
+	s.metrics = make([]*strategy.Metrics, len(specs))
+	for i := range s.metrics {
+		s.metrics[i] = strategy.NewMetrics()
+	}
+	if walPath != "" {
+		snap, err := trace.CaptureSnapshot(0, s.stateNetwork(), cfg.Strategies, s.stateAssignments(), s.metrics)
+		if err != nil {
+			s.releaseBackend()
+			return nil, err
+		}
+		s.wal, err = createWAL(walPath, snap)
+		if err != nil {
+			s.releaseBackend()
+			return nil, err
+		}
+		s.wal.syncEvery = cfg.SyncEvery
+	}
+	s.view.Store(newView(cfg.Strategies))
+	go s.run()
+	return s, nil
+}
+
+// restoreSession rebuilds a session from its WAL: the snapshot restores
+// topology, assignments, and metrics directly, and the committed event
+// tail is re-applied through the normal recoding path (without
+// re-logging). The result is bit-identical to the pre-crash state.
+func restoreSession(id string, cfg Config, walPath string) (*Session, error) {
+	cfg = cfg.withDefaults()
+	snap, tailEvents, w, err := openWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	w.syncEvery = cfg.SyncEvery
+	fail := func(err error) (*Session, error) {
+		w.abort()
+		return nil, err
+	}
+	if len(snap.Strategies) != len(cfg.Strategies) {
+		return fail(fmt.Errorf("serve: wal %s hosts %d strategies, config wants %d", walPath, len(snap.Strategies), len(cfg.Strategies)))
+	}
+	for i, ss := range snap.Strategies {
+		if ss.Name != cfg.Strategies[i] {
+			return fail(fmt.Errorf("serve: wal %s strategy %d is %q, config wants %q", walPath, i, ss.Name, cfg.Strategies[i]))
+		}
+	}
+	s := &Session{id: id, cfg: cfg, mail: make(chan request, cfg.Mailbox), done: make(chan struct{}), wal: w}
+	specs, err := shard.DefaultSpecs(cfg.Strategies...)
+	if err != nil {
+		return fail(err)
+	}
+	if cfg.sharded() {
+		// Sharded sessions never compact (their snapshot stays at seq 0),
+		// so the tail is the whole history: replay it through a fresh
+		// coordinator (shard.Replay semantics).
+		if snap.Seq != 0 || len(snap.Nodes) > 0 {
+			return fail(fmt.Errorf("serve: wal %s has a compacted snapshot but a sharded session cannot restore one", walPath))
+		}
+		sc := cfg.Shard
+		sc.Validate = cfg.Validate
+		s.coord, err = shard.New(sc, specs)
+		if err != nil {
+			return fail(err)
+		}
+		s.peak = make([]toca.Color, len(specs))
+		s.metrics = make([]*strategy.Metrics, len(specs))
+		for i := range s.metrics {
+			s.metrics[i] = strategy.NewMetrics()
+		}
+		s.view.Store(newView(cfg.Strategies))
+		for _, ev := range tailEvents {
+			if err := s.applyShard(ev, false); err != nil {
+				s.releaseBackend()
+				return fail(err)
+			}
+		}
+		if err := s.syncShardView(); err != nil {
+			s.releaseBackend()
+			return fail(err)
+		}
+	} else {
+		// Rebuild the network from the snapshot (join order is the sorted
+		// snapshot order; the digraph is a pure function of the configs,
+		// so subsequent recodings are identical), install the snapshot
+		// assignments and metrics, then roll the tail forward.
+		net := adhoc.New()
+		ids, cfgs := snap.Configs()
+		for i, nid := range ids {
+			if err := net.Join(nid, cfgs[i]); err != nil {
+				return fail(err)
+			}
+		}
+		s.eng = engine.Adopt(net)
+		s.metrics = make([]*strategy.Metrics, len(specs))
+		for i, spec := range specs {
+			h := spec.New(net, snap.Strategies[i].Assignment())
+			s.eng.Subscribe(h)
+			s.hosted = append(s.hosted, h)
+			if s.metrics[i], err = snap.Strategies[i].RestoreMetrics(); err != nil {
+				return fail(err)
+			}
+		}
+		s.seq = snap.Seq
+		// Publish the snapshot state first: the tail replay below rolls
+		// the view forward event by event, same as live operation.
+		s.view.Store(s.rebuild())
+		for _, ev := range tailEvents {
+			if err := s.applyEngine(ev, false); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	go s.run()
+	return s, nil
+}
+
+// ---- Public surface (any goroutine) ----
+
+// ID returns the session identity.
+func (s *Session) ID() string { return s.id }
+
+// Strategies lists the hosted strategies.
+func (s *Session) Strategies() []string { return append([]string(nil), s.cfg.Strategies...) }
+
+// View returns the newest published read snapshot. Never nil; never
+// blocks.
+func (s *Session) View() *View { return s.view.Load() }
+
+// Submit enqueues one event without waiting for it to apply. It fails
+// fast with ErrBackpressure when the mailbox is full and ErrClosed after
+// Close.
+func (s *Session) Submit(ev strategy.Event) error {
+	return s.enqueue(request{kind: reqEvent, ev: ev})
+}
+
+// Apply enqueues one event and waits for its outcome (admission control
+// still applies: a full mailbox fails fast).
+func (s *Session) Apply(ev strategy.Event) error {
+	res := make(chan error, 1)
+	if err := s.enqueue(request{kind: reqEvent, ev: ev, res: res}); err != nil {
+		return err
+	}
+	return <-res
+}
+
+// Barrier waits until every previously accepted event is applied and
+// (for sharded sessions) the published view reflects them.
+func (s *Session) Barrier() error {
+	res := make(chan error, 1)
+	if err := s.enqueueWait(request{kind: reqBarrier, res: res}); err != nil {
+		return err
+	}
+	return <-res
+}
+
+// Watch subscribes to assignment-change deltas. The returned cancel
+// function is idempotent; the channel closes on cancellation, session
+// close, or when the subscriber lags more than the configured buffer.
+func (s *Session) Watch() (<-chan Delta, func()) {
+	w := &watcher{ch: make(chan Delta, s.cfg.WatchBuffer)}
+	// Register under the submit lock: once closed is set no new watcher
+	// may enter the slice (finish stops only the watchers it sees), so a
+	// Watch racing a Close gets an immediately-closed channel instead of
+	// one nobody will ever touch.
+	s.submitMu.RLock()
+	if s.closed {
+		s.submitMu.RUnlock()
+		w.stop()
+		return w.ch, func() {}
+	}
+	s.watchMu.Lock()
+	s.watchers = append(s.watchers, w)
+	s.watchMu.Unlock()
+	s.submitMu.RUnlock()
+	cancel := func() {
+		s.watchMu.Lock()
+		for i, x := range s.watchers {
+			if x == w {
+				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+				break
+			}
+		}
+		s.watchMu.Unlock()
+		w.stop()
+	}
+	return w.ch, cancel
+}
+
+// Close drains the mailbox, writes a final snapshot (compacting the
+// WAL), stops the writer, and releases the backend. Subsequent
+// operations return ErrClosed.
+func (s *Session) Close() error { return s.shutdown(reqClose) }
+
+// abortForTest simulates a crash: the writer stops where it is and the
+// WAL keeps only what earlier group commits pushed to the OS — no final
+// flush, snapshot, or fsync.
+func (s *Session) abortForTest() error { return s.shutdown(reqAbort) }
+
+func (s *Session) shutdown(kind reqKind) error {
+	s.submitMu.Lock()
+	if s.closed {
+		s.submitMu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.submitMu.Unlock()
+	res := make(chan error, 1)
+	s.mail <- request{kind: kind, res: res} // writer still draining; no new senders
+	err := <-res
+	<-s.done
+	return err
+}
+
+// inspect runs fn on the writer goroutine against quiesced state.
+func (s *Session) inspect(fn func(*inspectState)) error {
+	res := make(chan error, 1)
+	if err := s.enqueueWait(request{kind: reqInspect, res: res, fn: fn}); err != nil {
+		return err
+	}
+	return <-res
+}
+
+// enqueue is the admission-controlled submission path.
+func (s *Session) enqueue(req request) error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.mail <- req:
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+// enqueueWait is enqueue for control requests that should wait for a
+// slot instead of bouncing (barriers, inspection).
+func (s *Session) enqueueWait(req request) error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.mail <- req
+	return nil
+}
+
+// ---- Writer goroutine ----
+
+func (s *Session) run() {
+	defer close(s.done)
+	for req := range s.mail {
+		switch req.kind {
+		case reqEvent:
+			err := s.err
+			if err == nil {
+				if s.coord != nil {
+					err = s.applyShard(req.ev, true)
+				} else {
+					err = s.applyEngine(req.ev, true)
+				}
+			}
+			if req.res != nil {
+				req.res <- err
+			}
+		case reqBarrier, reqInspect:
+			err := s.err
+			if err == nil && s.coord != nil && s.pending > 0 {
+				err = s.syncShardView()
+			}
+			if err == nil && req.fn != nil {
+				req.fn(&inspectState{eng: s.eng, coord: s.coord, hosted: s.hosted, metrics: s.metrics})
+			}
+			req.res <- err
+		case reqClose, reqAbort:
+			req.res <- s.finish(req.kind == reqAbort)
+			return
+		}
+		if len(s.mail) == 0 {
+			s.drainPoint()
+		}
+	}
+}
+
+// drainPoint runs group-commit work when the mailbox empties: flush the
+// WAL and (sharded) publish a fresh view.
+func (s *Session) drainPoint() {
+	if s.err != nil {
+		return
+	}
+	if s.coord != nil && s.pending > 0 {
+		if err := s.syncShardView(); err != nil {
+			s.poison(err)
+			return
+		}
+	}
+	if s.wal != nil {
+		if err := s.wal.flush(); err != nil {
+			s.poison(err)
+		}
+	}
+}
+
+func (s *Session) poison(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// applyEngine is the single-engine per-event path. logIt is false only
+// during WAL restore (the event is already durable).
+func (s *Session) applyEngine(ev strategy.Event, logIt bool) error {
+	outs, err := s.eng.Apply(ev)
+	if err != nil {
+		if outs == nil {
+			// Topology rejection (duplicate join, unknown node): the
+			// engine state is untouched — the event is refused, the
+			// session stays healthy, nothing is logged.
+			return err
+		}
+		// A subscriber failed mid-fanout: state is inconsistent, poison.
+		s.poison(err)
+		return err
+	}
+	if logIt && s.wal != nil {
+		if err := s.wal.append(ev); err != nil {
+			s.poison(err)
+			return err
+		}
+	}
+	s.seq++
+	for i := range s.hosted {
+		s.metrics[i].Record(ev.Kind, outs[i])
+	}
+	if s.cfg.Validate {
+		g := s.eng.Network().Graph()
+		for i, h := range s.hosted {
+			if vs := toca.Verify(g, h.Assignment()); len(vs) > 0 {
+				err := fmt.Errorf("serve: %s: event %d left %d violations, first: %v", s.cfg.Strategies[i], s.seq-1, len(vs), vs[0])
+				s.poison(err)
+				return err
+			}
+		}
+	}
+	var postCfg adhoc.Config
+	if ev.Kind != strategy.Leave {
+		postCfg, _ = s.eng.Network().Config(ev.ID)
+	}
+	nv := s.view.Load().next(ev, postCfg, s.eng.Network().Size(), outs, s.metrics)
+	s.view.Store(nv)
+	s.notify(Delta{Seq: s.seq, Event: ev, Recoded: recodedByName(s.cfg.Strategies, outs)})
+	if logIt && s.wal != nil && s.cfg.CompactEvery > 0 && s.wal.tail >= s.cfg.CompactEvery {
+		if err := s.compact(); err != nil {
+			s.poison(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// applyShard is the sharded per-event path: events stream into the
+// coordinator (interior ones run concurrently across region workers) and
+// the view is republished at sync points instead of per event.
+func (s *Session) applyShard(ev strategy.Event, logIt bool) error {
+	if err := s.coord.Apply([]strategy.Event{ev}); err != nil {
+		s.poison(err)
+		return err
+	}
+	if logIt && s.wal != nil {
+		if err := s.wal.append(ev); err != nil {
+			s.poison(err)
+			return err
+		}
+	}
+	s.seq++
+	s.pending++
+	return nil
+}
+
+// syncShardView drains the coordinator and republishes the view from its
+// authoritative global state, emitting one coalesced delta.
+func (s *Session) syncShardView() error {
+	names := s.cfg.Strategies
+	assigns := make([]toca.Assignment, len(names))
+	metrics := make([]strategy.Metrics, len(names))
+	for i, name := range names {
+		a, ok, err := s.coord.AssignmentOf(name)
+		if err != nil {
+			s.poison(err)
+			return err
+		}
+		if !ok {
+			err := fmt.Errorf("serve: strategy %q not hosted by coordinator", name)
+			s.poison(err)
+			return err
+		}
+		assigns[i] = a.Clone()
+		snap, _, err := s.coord.SnapshotOf(name)
+		if err != nil {
+			s.poison(err)
+			return err
+		}
+		if snap.MaxColor > s.peak[i] {
+			s.peak[i] = snap.MaxColor
+		}
+		metrics[i] = strategy.Metrics{
+			Events:         s.seq,
+			TotalRecodings: snap.TotalRecodings,
+			MaxColor:       snap.MaxColor,
+			PeakMaxColor:   s.peak[i],
+		}
+		*s.metrics[i] = metrics[i]
+	}
+	net, err := s.coord.Network()
+	if err != nil {
+		s.poison(err)
+		return err
+	}
+	prev := s.view.Load()
+	nv := rebuildView(s.seq, net, names, assigns, metrics)
+	s.view.Store(nv)
+	s.pending = 0
+	// Coalesced delta: the diff between the two published views.
+	rec := make(map[string]map[graph.NodeID]toca.Color, len(names))
+	for _, name := range names {
+		prevA, _ := prev.Assignment(name)
+		curA, _ := nv.Assignment(name)
+		d := map[graph.NodeID]toca.Color{}
+		for id, c := range curA {
+			if prevA[id] != c {
+				d[id] = c
+			}
+		}
+		for id := range prevA {
+			if _, ok := curA[id]; !ok {
+				d[id] = toca.None
+			}
+		}
+		rec[name] = d
+	}
+	s.notify(Delta{Seq: s.seq, Batch: true, Recoded: rec})
+	return nil
+}
+
+// rebuild materializes the view from the engine backend's state (restore
+// path).
+func (s *Session) rebuild() *View {
+	assigns := s.stateAssignments()
+	metrics := make([]strategy.Metrics, len(s.metrics))
+	for i, m := range s.metrics {
+		metrics[i] = *m
+	}
+	return rebuildView(s.seq, s.eng.Network(), s.cfg.Strategies, assigns, metrics)
+}
+
+// compact captures the current state and rewrites the WAL to one
+// snapshot line.
+func (s *Session) compact() error {
+	snap, err := trace.CaptureSnapshot(s.seq, s.stateNetwork(), s.cfg.Strategies, s.stateAssignments(), s.metrics)
+	if err != nil {
+		return err
+	}
+	return s.wal.compact(snap)
+}
+
+// finish is the writer's exit path.
+func (s *Session) finish(abort bool) error {
+	err := s.err
+	if s.coord != nil {
+		if !abort && err == nil && s.pending > 0 {
+			err = s.syncShardView()
+		}
+		if cerr := s.coord.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	if s.wal != nil {
+		if abort {
+			s.wal.abort()
+		} else {
+			if err == nil && s.eng != nil && s.cfg.CompactEvery > 0 && s.wal.tail > 0 {
+				err = s.compact()
+			}
+			if cerr := s.wal.close(); err == nil && cerr != nil {
+				err = cerr
+			}
+		}
+	}
+	s.watchMu.Lock()
+	ws := s.watchers
+	s.watchers = nil
+	s.watchMu.Unlock()
+	for _, w := range ws {
+		w.stop()
+	}
+	return err
+}
+
+func (s *Session) notify(d Delta) {
+	s.watchMu.Lock()
+	ws := append([]*watcher(nil), s.watchers...)
+	s.watchMu.Unlock()
+	for _, w := range ws {
+		if !w.deliver(d) {
+			s.watchMu.Lock()
+			for i, x := range s.watchers {
+				if x == w {
+					s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+					break
+				}
+			}
+			s.watchMu.Unlock()
+		}
+	}
+}
+
+// stateNetwork returns the backend's authoritative network (writer
+// goroutine or pre-start only).
+func (s *Session) stateNetwork() *adhoc.Network {
+	if s.eng != nil {
+		return s.eng.Network()
+	}
+	net, _ := s.coord.Network()
+	return net
+}
+
+// stateAssignments returns the backend's live assignments, aligned with
+// cfg.Strategies (writer goroutine or pre-start only).
+func (s *Session) stateAssignments() []toca.Assignment {
+	out := make([]toca.Assignment, len(s.cfg.Strategies))
+	if s.eng != nil {
+		for i, h := range s.hosted {
+			out[i] = h.Assignment()
+		}
+		return out
+	}
+	for i, name := range s.cfg.Strategies {
+		a, _, _ := s.coord.AssignmentOf(name)
+		out[i] = a
+	}
+	return out
+}
+
+// releaseBackend tears down a half-built session.
+func (s *Session) releaseBackend() {
+	if s.coord != nil {
+		s.coord.Close()
+	}
+}
+
+func recodedByName(names []string, outs []strategy.Outcome) map[string]map[graph.NodeID]toca.Color {
+	rec := make(map[string]map[graph.NodeID]toca.Color, len(names))
+	for i, name := range names {
+		m := make(map[graph.NodeID]toca.Color, len(outs[i].Recoded))
+		for id, c := range outs[i].Recoded {
+			m[id] = c
+		}
+		rec[name] = m
+	}
+	return rec
+}

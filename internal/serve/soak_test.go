@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// TestServeSoak is the -race soak: N sessions, each with one writer
+// goroutine flooding events through admission control, several reader
+// goroutines hammering snapshot queries, and a Watch subscriber — all
+// concurrently on one manager. Run with -race in CI; sizes shrink under
+// -short. Correctness: every session must finish bit-identical to a
+// sequential reference run of the events its writer actually submitted.
+func TestServeSoak(t *testing.T) {
+	sessions, events, readers := 4, 300, 4
+	if testing.Short() {
+		sessions, events, readers = 3, 120, 3
+	}
+	m := NewManager(t.TempDir())
+	var wg sync.WaitGroup
+	errc := make(chan error, sessions*(readers+2))
+
+	for si := 0; si < sessions; si++ {
+		id := fmt.Sprintf("soak-%d", si)
+		s, err := m.Create(id, Config{Strategies: []string{"Minim", "CP"}, Mailbox: 32, CompactEvery: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := workload.Defaults()
+		p.N = 30
+		script := workload.Churn(uint64(si+1), p, events, workload.ChurnWeights{Join: 1, Leave: 1, Move: 3, Power: 2})
+
+		done := make(chan struct{})
+
+		// Writer: submit the whole script through admission control,
+		// backing off on ErrBackpressure.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done)
+			for _, ev := range script {
+				for {
+					err := s.Submit(ev)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrBackpressure) {
+						errc <- fmt.Errorf("%s: %v", id, err)
+						return
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+
+		// Readers: load views and run queries until the writer finishes.
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				rng := xrand.New(seed)
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					v := s.View()
+					nodes := v.Nodes()
+					if len(nodes) > 0 {
+						id := nodes[rng.Intn(len(nodes))]
+						v.ColorOf("Minim", id)
+						v.ConflictNeighbors(id)
+						v.MetricsOf("CP")
+					}
+					if a, ok := v.Assignment("Minim"); ok && len(a) > v.NodeCount() {
+						errc <- fmt.Errorf("view assignment larger than network")
+						return
+					}
+				}
+			}(uint64(si*100 + r))
+		}
+
+		// Watcher: consume deltas until the writer finishes; disconnection
+		// (lag) is legal, delta seqs must be strictly increasing.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, cancel := s.Watch()
+			defer cancel()
+			last := 0
+			for {
+				select {
+				case d, ok := <-ch:
+					if !ok {
+						return
+					}
+					if d.Seq <= last {
+						errc <- fmt.Errorf("%s: watch seq %d after %d", id, d.Seq, last)
+						return
+					}
+					last = d.Seq
+				case <-done:
+					return
+				}
+			}
+		}()
+
+		// Verifier: once the writer is done, barrier and compare to the
+		// sequential reference.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-done
+			if err := s.Barrier(); err != nil {
+				errc <- fmt.Errorf("%s: barrier: %v", id, err)
+				return
+			}
+			ref, err := sim.NewEngineSession([]sim.StrategyName{sim.Minim, sim.CP}, false)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if err := ref.Apply(script); err != nil {
+				errc <- err
+				return
+			}
+			v := s.View()
+			for _, name := range []string{"Minim", "CP"} {
+				rs, _ := ref.StrategyOf(sim.StrategyName(name))
+				got, _ := v.Assignment(name)
+				if !reflect.DeepEqual(got, rs.Assignment()) {
+					errc <- fmt.Errorf("%s: %s diverged from sequential reference", id, name)
+					return
+				}
+				gm, _ := v.MetricsOf(name)
+				rm, _ := ref.MetricsOf(sim.StrategyName(name))
+				if gm.TotalRecodings != rm.TotalRecodings || gm.MaxColor != rm.MaxColor {
+					errc <- fmt.Errorf("%s: %s metrics (%d,%d), want (%d,%d)",
+						id, name, gm.TotalRecodings, gm.MaxColor, rm.TotalRecodings, rm.MaxColor)
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if err := m.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSubmitters: several goroutines submitting to ONE session
+// race only on the mailbox; every accepted event is applied exactly once
+// and the session stays consistent (equivalence to a specific order is
+// not expected — admission is the serialization point).
+func TestConcurrentSubmitters(t *testing.T) {
+	s, err := newSession("multi", Config{Strategies: []string{"Minim"}, Mailbox: 64, Validate: true}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := workload.Defaults()
+	p.N = 200
+	script := workload.JoinScript(3, p)
+	var wg sync.WaitGroup
+	var accepted int64
+	var mu sync.Mutex
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(part []strategy.Event) {
+			defer wg.Done()
+			for _, ev := range part {
+				for {
+					err := s.Apply(ev)
+					if errors.Is(err, ErrBackpressure) {
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					if err == nil {
+						mu.Lock()
+						accepted++
+						mu.Unlock()
+					}
+					break
+				}
+			}
+		}(script[w*50 : (w+1)*50])
+	}
+	wg.Wait()
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 200 {
+		t.Fatalf("accepted %d events, want 200", accepted)
+	}
+	if got := s.View().NodeCount(); got != 200 {
+		t.Fatalf("nodes %d, want 200", got)
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// wal is one session's durable write-ahead log: a newline-delimited JSON
+// file (the internal/trace record encoding) whose first line is a
+// versioned snapshot and every following line one event. The committed
+// state of a session is therefore always "snapshot + event tail", and
+// compaction atomically replaces the file with a fresh snapshot line.
+//
+// Durability discipline: records are buffered and flushed whenever the
+// writer drains its mailbox (group commit) and fsynced on compaction and
+// close; SyncEvery forces a flush+fsync every N appends for callers that
+// want per-event durability. A torn final line (crash mid-append) is
+// detected and truncated on open — a record is committed iff its line is
+// complete.
+type wal struct {
+	path      string
+	f         *os.File
+	bw        *bufio.Writer
+	tail      int // events appended since the snapshot line
+	syncEvery int
+	sinceSync int
+}
+
+// createWAL starts a fresh log at path with the given initial snapshot,
+// truncating any previous file.
+func createWAL(path string, snap trace.Snapshot) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{path: path, f: f, bw: bufio.NewWriter(f)}
+	if err := trace.WriteSnapshotRecord(w.bw, snap); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// openWAL reads an existing log back: the snapshot, the committed event
+// tail, and a wal handle positioned for appending. Torn trailing bytes
+// (a crash mid-append) are truncated away; corrupt committed records
+// fail the open.
+func openWAL(path string) (trace.Snapshot, []strategy.Event, *wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return trace.Snapshot{}, nil, nil, err
+	}
+	recs, committed, err := trace.ReadRecords(f)
+	if err != nil {
+		f.Close()
+		return trace.Snapshot{}, nil, nil, fmt.Errorf("serve: wal %s: %w", path, err)
+	}
+	if len(recs) == 0 || recs[0].Snap == nil {
+		f.Close()
+		return trace.Snapshot{}, nil, nil, fmt.Errorf("serve: wal %s does not start with a snapshot", path)
+	}
+	snap := *recs[0].Snap
+	var tail []strategy.Event
+	for i, r := range recs[1:] {
+		if r.Ev == nil {
+			f.Close()
+			return trace.Snapshot{}, nil, nil, fmt.Errorf("serve: wal %s: record %d is a second snapshot", path, i+1)
+		}
+		tail = append(tail, *r.Ev)
+	}
+	if err := f.Truncate(committed); err != nil {
+		f.Close()
+		return trace.Snapshot{}, nil, nil, err
+	}
+	if _, err := f.Seek(committed, 0); err != nil {
+		f.Close()
+		return trace.Snapshot{}, nil, nil, err
+	}
+	w := &wal{path: path, f: f, bw: bufio.NewWriter(f), tail: len(tail)}
+	return snap, tail, w, nil
+}
+
+// append logs one event record.
+func (w *wal) append(ev strategy.Event) error {
+	if err := trace.WriteEventRecord(w.bw, ev); err != nil {
+		return err
+	}
+	w.tail++
+	w.sinceSync++
+	if w.syncEvery > 0 && w.sinceSync >= w.syncEvery {
+		return w.sync()
+	}
+	return nil
+}
+
+// flush pushes buffered records to the OS (group commit at mailbox
+// drains).
+func (w *wal) flush() error { return w.bw.Flush() }
+
+// sync flushes and fsyncs.
+func (w *wal) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	w.sinceSync = 0
+	return w.f.Sync()
+}
+
+// compact atomically replaces the log with a fresh snapshot: the new
+// file is written and fsynced beside the old one, then renamed over it,
+// so a crash at any point leaves one complete, parseable log.
+func (w *wal) compact(snap trace.Snapshot) error {
+	tmp := w.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(nf)
+	if err := trace.WriteSnapshotRecord(bw, snap); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Durably record the rename itself.
+	if dir, err := os.Open(filepath.Dir(w.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	w.f.Close()
+	w.f = nf
+	w.bw = bufio.NewWriter(nf)
+	w.tail = 0
+	w.sinceSync = 0
+	return nil
+}
+
+// close flushes, fsyncs, and releases the file.
+func (w *wal) close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// abort releases the file WITHOUT flushing the buffer — the
+// simulated-crash path: whatever the last group commit pushed to the OS
+// survives, everything after it is lost, exactly as if the process died.
+func (w *wal) abort() error { return w.f.Close() }

@@ -1,0 +1,275 @@
+// Snapshot records: the versioned point-in-time state a durable WAL
+// compacts its event prefix into. A snapshot captures everything a
+// session needs to resume — the network configuration of every node and
+// each hosted strategy's code assignment plus cumulative metrics — so
+// that "snapshot + event tail" reconstructs the exact pre-crash state.
+//
+// The WAL itself is a sequence of newline-delimited JSON records
+// (WriteSnapshotRecord / WriteEventRecord / ReadRecords): the first line
+// is a snapshot, every following line one event. A record is committed
+// iff its line is newline-terminated and parses; an unterminated final
+// line is a torn append (the writer died mid-write) and is ignored by
+// ReadRecords, while a malformed *terminated* line is corruption and is
+// rejected loudly.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/adhoc"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/strategy"
+	"repro/internal/toca"
+)
+
+// SnapshotVersion identifies the on-disk snapshot schema. Bump it when
+// the record shape changes; readers reject versions they do not know.
+const SnapshotVersion = 1
+
+// NodeState is one node's network configuration in a snapshot.
+type NodeState struct {
+	ID    int     `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Range float64 `json:"range"`
+}
+
+// ColorEntry is one node's code in a strategy's assignment.
+type ColorEntry struct {
+	ID    int `json:"id"`
+	Color int `json:"color"`
+}
+
+// MetricsState is the serialized form of strategy.Metrics.
+type MetricsState struct {
+	Events          int            `json:"events"`
+	TotalRecodings  int            `json:"total_recodings"`
+	MaxColor        int            `json:"max_color"`
+	PeakMaxColor    int            `json:"peak_max_color"`
+	RecodingsByKind map[string]int `json:"recodings_by_kind,omitempty"`
+}
+
+// StrategyState is one hosted strategy's snapshot: its assignment and
+// cumulative metrics, both sorted deterministically.
+type StrategyState struct {
+	Name    string       `json:"name"`
+	Assign  []ColorEntry `json:"assign"`
+	Metrics MetricsState `json:"metrics"`
+}
+
+// Snapshot is a versioned point-in-time state record: the event-log
+// position it corresponds to, the full network topology, and every
+// hosted strategy's state.
+type Snapshot struct {
+	Version    int             `json:"version"`
+	Seq        int             `json:"seq"`
+	Nodes      []NodeState     `json:"nodes"`
+	Strategies []StrategyState `json:"strategies"`
+}
+
+// CaptureSnapshot builds a snapshot of a network and the given
+// strategies' states at event-log position seq. Nodes and assignments
+// are sorted by ID so identical states produce identical bytes.
+func CaptureSnapshot(seq int, net *adhoc.Network, names []string, assigns []toca.Assignment, metrics []*strategy.Metrics) (Snapshot, error) {
+	if len(names) != len(assigns) || len(names) != len(metrics) {
+		return Snapshot{}, fmt.Errorf("trace: snapshot with %d names, %d assignments, %d metrics", len(names), len(assigns), len(metrics))
+	}
+	s := Snapshot{Version: SnapshotVersion, Seq: seq}
+	for _, id := range net.Nodes() {
+		cfg, _ := net.Config(id)
+		s.Nodes = append(s.Nodes, NodeState{ID: int(id), X: cfg.Pos.X, Y: cfg.Pos.Y, Range: cfg.Range})
+	}
+	sort.Slice(s.Nodes, func(i, j int) bool { return s.Nodes[i].ID < s.Nodes[j].ID })
+	for i, name := range names {
+		ss := StrategyState{Name: name}
+		for id, c := range assigns[i] {
+			if c == toca.None {
+				continue
+			}
+			ss.Assign = append(ss.Assign, ColorEntry{ID: int(id), Color: int(c)})
+		}
+		sort.Slice(ss.Assign, func(a, b int) bool { return ss.Assign[a].ID < ss.Assign[b].ID })
+		if m := metrics[i]; m != nil {
+			ss.Metrics = MetricsState{
+				Events:         m.Events,
+				TotalRecodings: m.TotalRecodings,
+				MaxColor:       int(m.MaxColor),
+				PeakMaxColor:   int(m.PeakMaxColor),
+			}
+			if len(m.RecodingsByKind) > 0 {
+				ss.Metrics.RecodingsByKind = make(map[string]int, len(m.RecodingsByKind))
+				for k, n := range m.RecodingsByKind {
+					ss.Metrics.RecodingsByKind[k.String()] = n
+				}
+			}
+		}
+		s.Strategies = append(s.Strategies, ss)
+	}
+	return s, nil
+}
+
+// Configs returns the snapshot's topology as per-node configurations,
+// sorted by ID.
+func (s Snapshot) Configs() ([]graph.NodeID, []adhoc.Config) {
+	ids := make([]graph.NodeID, 0, len(s.Nodes))
+	cfgs := make([]adhoc.Config, 0, len(s.Nodes))
+	for _, ns := range s.Nodes {
+		ids = append(ids, graph.NodeID(ns.ID))
+		cfgs = append(cfgs, adhoc.Config{Pos: geom.Point{X: ns.X, Y: ns.Y}, Range: ns.Range})
+	}
+	return ids, cfgs
+}
+
+// Assignment materializes one strategy's snapshot assignment.
+func (ss StrategyState) Assignment() toca.Assignment {
+	a := make(toca.Assignment, len(ss.Assign))
+	for _, e := range ss.Assign {
+		a[graph.NodeID(e.ID)] = toca.Color(e.Color)
+	}
+	return a
+}
+
+// RestoreMetrics materializes one strategy's snapshot metrics.
+func (ss StrategyState) RestoreMetrics() (*strategy.Metrics, error) {
+	m := strategy.NewMetrics()
+	m.Events = ss.Metrics.Events
+	m.TotalRecodings = ss.Metrics.TotalRecodings
+	m.MaxColor = toca.Color(ss.Metrics.MaxColor)
+	m.PeakMaxColor = toca.Color(ss.Metrics.PeakMaxColor)
+	for ks, n := range ss.Metrics.RecodingsByKind {
+		var kind strategy.EventKind
+		switch ks {
+		case "join":
+			kind = strategy.Join
+		case "leave":
+			kind = strategy.Leave
+		case "move":
+			kind = strategy.Move
+		case "power":
+			kind = strategy.PowerChange
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %q in snapshot metrics", ks)
+		}
+		m.RecodingsByKind[kind] = n
+	}
+	return m, nil
+}
+
+// validate rejects snapshots a restore could not honor.
+func (s Snapshot) validate() error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("trace: unsupported snapshot version %d (want %d)", s.Version, SnapshotVersion)
+	}
+	if s.Seq < 0 {
+		return fmt.Errorf("trace: snapshot with negative seq %d", s.Seq)
+	}
+	seen := make(map[int]struct{}, len(s.Nodes))
+	for _, ns := range s.Nodes {
+		if _, dup := seen[ns.ID]; dup {
+			return fmt.Errorf("trace: snapshot repeats node %d", ns.ID)
+		}
+		seen[ns.ID] = struct{}{}
+		if ns.Range < 0 {
+			return fmt.Errorf("trace: snapshot node %d with negative range %g", ns.ID, ns.Range)
+		}
+	}
+	for _, ss := range s.Strategies {
+		for _, e := range ss.Assign {
+			if _, ok := seen[e.ID]; !ok {
+				return fmt.Errorf("trace: %s assigns color to node %d absent from topology", ss.Name, e.ID)
+			}
+			if e.Color <= 0 {
+				return fmt.Errorf("trace: %s assigns non-positive color %d to node %d", ss.Name, e.Color, e.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// walRecord is one WAL line: exactly one of Snap or Ev is set.
+type walRecord struct {
+	Snap *Snapshot    `json:"snap,omitempty"`
+	Ev   *EventRecord `json:"ev,omitempty"`
+}
+
+// Record is one decoded WAL record.
+type Record struct {
+	Snap *Snapshot
+	Ev   *strategy.Event
+}
+
+// WriteSnapshotRecord appends one snapshot record line to w.
+func WriteSnapshotRecord(w io.Writer, s Snapshot) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	return writeRecord(w, walRecord{Snap: &s})
+}
+
+// WriteEventRecord appends one event record line to w.
+func WriteEventRecord(w io.Writer, ev strategy.Event) error {
+	ej, err := EncodeEvent(ev)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return writeRecord(w, walRecord{Ev: &ej})
+}
+
+func writeRecord(w io.Writer, r walRecord) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadRecords decodes a WAL stream. It returns the records of every
+// committed (newline-terminated, well-formed) line along with the byte
+// offset where the committed prefix ends: a torn final line — no
+// trailing newline — is not a record and lies past that offset, so a
+// writer reopening the stream truncates to it before appending. A
+// malformed line that IS terminated is corruption and fails the read.
+func ReadRecords(r io.Reader) ([]Record, int64, error) {
+	br := bufio.NewReader(r)
+	var (
+		recs   []Record
+		offset int64
+	)
+	for i := 0; ; i++ {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// Unterminated tail (possibly empty): torn append, ignore.
+			return recs, offset, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		var wr walRecord
+		if err := json.Unmarshal(line, &wr); err != nil {
+			return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		switch {
+		case wr.Snap != nil && wr.Ev == nil:
+			if err := wr.Snap.validate(); err != nil {
+				return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			recs = append(recs, Record{Snap: wr.Snap})
+		case wr.Ev != nil && wr.Snap == nil:
+			ev, err := DecodeEvent(*wr.Ev)
+			if err != nil {
+				return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			recs = append(recs, Record{Ev: &ev})
+		default:
+			return nil, 0, fmt.Errorf("trace: record %d is neither snapshot nor event", i)
+		}
+		offset += int64(len(line))
+	}
+}

@@ -23,13 +23,15 @@ const FormatVersion = 1
 
 // file is the on-disk envelope.
 type file struct {
-	Version int         `json:"version"`
-	Name    string      `json:"name,omitempty"`
-	Events  []eventJSON `json:"events"`
+	Version int           `json:"version"`
+	Name    string        `json:"name,omitempty"`
+	Events  []EventRecord `json:"events"`
 }
 
-// eventJSON is the serialized form of one strategy.Event.
-type eventJSON struct {
+// EventRecord is the serialized form of one strategy.Event. It is shared
+// by script files, WAL records (package serve), and the session-service
+// HTTP API, so every surface speaks the same event vocabulary.
+type EventRecord struct {
 	Kind  string  `json:"kind"` // "join", "leave", "move", "power"
 	ID    int     `json:"id"`
 	X     float64 `json:"x,omitempty"`
@@ -41,7 +43,7 @@ type eventJSON struct {
 func Save(w io.Writer, name string, events []strategy.Event) error {
 	f := file{Version: FormatVersion, Name: name}
 	for i, ev := range events {
-		ej, err := encodeEvent(ev)
+		ej, err := EncodeEvent(ev)
 		if err != nil {
 			return fmt.Errorf("trace: event %d: %w", i, err)
 		}
@@ -64,7 +66,7 @@ func Load(r io.Reader) (name string, events []strategy.Event, err error) {
 		return "", nil, fmt.Errorf("trace: unsupported version %d (want %d)", f.Version, FormatVersion)
 	}
 	for i, ej := range f.Events {
-		ev, err := decodeEvent(ej)
+		ev, err := DecodeEvent(ej)
 		if err != nil {
 			return "", nil, fmt.Errorf("trace: event %d: %w", i, err)
 		}
@@ -73,8 +75,9 @@ func Load(r io.Reader) (name string, events []strategy.Event, err error) {
 	return f.Name, events, nil
 }
 
-func encodeEvent(ev strategy.Event) (eventJSON, error) {
-	ej := eventJSON{ID: int(ev.ID)}
+// EncodeEvent serializes one event into its wire record.
+func EncodeEvent(ev strategy.Event) (EventRecord, error) {
+	ej := EventRecord{ID: int(ev.ID)}
 	switch ev.Kind {
 	case strategy.Join:
 		ej.Kind = "join"
@@ -93,7 +96,9 @@ func encodeEvent(ev strategy.Event) (eventJSON, error) {
 	return ej, nil
 }
 
-func decodeEvent(ej eventJSON) (strategy.Event, error) {
+// DecodeEvent parses one wire record back into an event, rejecting
+// malformed records loudly.
+func DecodeEvent(ej EventRecord) (strategy.Event, error) {
 	id := graph.NodeID(ej.ID)
 	switch ej.Kind {
 	case "join":
