@@ -6,11 +6,22 @@
 // Usage:
 //
 //	cdmaserved [-addr :8080] [-dir cdmaserved-data]
+//	cdmaserved -cluster -id node-a [-join host:port] [-replicas 1]
+//	           [-interval 500ms] [-addr :8080] [-dir node-a-data]
 //
-// Sessions persist one WAL file each under -dir (empty disables
+// Standalone mode hosts sessions under -dir (empty disables
 // durability); POST /v1/sessions with {"recover": true} reopens a
-// session from its WAL after a restart. SIGINT/SIGTERM drain every
-// session (final snapshot + WAL compaction) before exiting.
+// session from its WAL after a restart.
+//
+// Cluster mode (-cluster) joins a fleet of cdmaserved processes (see
+// internal/cluster): sessions created via POST /cluster/sessions are
+// placed by rendezvous hashing, replicated to -replicas followers by
+// WAL shipping, and failed over automatically when a primary dies. Any
+// member answers GET /cluster/route and 307-redirects /v1 requests to
+// the session's primary. -join introduces this member to an existing
+// one; the -interval loop drives gossip, shipping, and reconciliation.
+//
+// SIGINT/SIGTERM drain every session (final WAL sync) before exiting.
 package main
 
 import (
@@ -24,21 +35,32 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		dir  = flag.String("dir", "cdmaserved-data", "WAL directory (empty disables durability)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dir       = flag.String("dir", "cdmaserved-data", "WAL directory (empty disables durability; cluster mode requires one)")
+		clustered = flag.Bool("cluster", false, "join a cluster of cdmaserved processes")
+		id        = flag.String("id", "", "cluster member identity (required with -cluster)")
+		join      = flag.String("join", "", "address of an existing cluster member to join through")
+		replicas  = flag.Int("replicas", 1, "follower replicas per session (cluster mode)")
+		interval  = flag.Duration("interval", 500*time.Millisecond, "gossip/ship/reconcile loop interval (cluster mode)")
 	)
 	flag.Parse()
 
-	m := serve.NewManager(*dir)
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *clustered {
+		runCluster(ctx, *addr, *dir, *id, *join, *replicas, *interval)
+		return
+	}
+
+	m := serve.NewManager(*dir)
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -58,6 +80,49 @@ func main() {
 	defer cancel()
 	srv.Shutdown(shutCtx)
 	if err := m.CloseAll(); err != nil {
+		fail(err)
+	}
+	fmt.Println("cdmaserved: bye")
+}
+
+func runCluster(ctx context.Context, addr, dir, id, join string, replicas int, interval time.Duration) {
+	if id == "" {
+		fail(errors.New("cluster mode needs -id"))
+	}
+	if dir == "" {
+		fail(errors.New("cluster mode needs a WAL directory (-dir)"))
+	}
+	n, err := cluster.NewNode(cluster.Config{
+		ID:       cluster.MemberID(id),
+		Dir:      dir,
+		Replicas: replicas,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := n.Start(addr); err != nil {
+		fail(err)
+	}
+	// Re-register any sessions persisted under -dir from a previous
+	// life — always as followers; Reconcile decides who leads.
+	if err := n.Recover(); err != nil {
+		fmt.Fprintf(os.Stderr, "cdmaserved: recovery warning: %v\n", err)
+	}
+	if join != "" {
+		if err := n.JoinCluster(join); err != nil {
+			fail(fmt.Errorf("joining via %s: %w", join, err))
+		}
+	}
+	fmt.Printf("cdmaserved: cluster member %s on %s (wal dir %q, replicas %d)\n", id, n.Addr(), dir, replicas)
+
+	done := make(chan struct{})
+	go func() {
+		n.Run(done, interval)
+	}()
+	<-ctx.Done()
+	close(done)
+	fmt.Println("cdmaserved: draining sessions...")
+	if err := n.Stop(); err != nil {
 		fail(err)
 	}
 	fmt.Println("cdmaserved: bye")

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"repro/internal/adhoc"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/toca"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// runClusterLoad is the cluster load-generator mode: an in-process
+// 3-member cluster over real HTTP, a client that keeps writing through
+// a mid-run primary kill, and a verification pass that the survivors'
+// state matches a single-process reference run exactly.
+//
+// The client behaves like a real one: it resolves the primary via
+// /cluster/route, follows 307 redirects, retries on 429, and — after
+// the failover — re-reads the promoted session's sequence number and
+// resumes its script from there. The run fails loudly if the promoted
+// state or the finished run diverges from the reference.
+func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replicas int, verbose bool) {
+	const members = 3
+	session := "cluster-load"
+	script, err := buildScript(seed, p, churn, hotspots)
+	if err != nil {
+		fail(err)
+	}
+	if len(script) < 40 {
+		fail(fmt.Errorf("cluster load needs a longer script (%d events); raise -n or -churn", len(script)))
+	}
+
+	root, err := os.MkdirTemp("", "cdmasim-cluster-")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(root)
+
+	// Boot the fleet.
+	nodes := make(map[cluster.MemberID]*cluster.Node, members)
+	var order []cluster.MemberID
+	for i := 0; i < members; i++ {
+		id := cluster.MemberID(fmt.Sprintf("m%d", i))
+		n, err := cluster.NewNode(cluster.Config{
+			ID: id, Dir: filepath.Join(root, string(id)),
+			Replicas: replicas, FailAfter: 2, Fanout: 2, Seed: seed + uint64(i),
+		})
+		if err != nil {
+			fail(err)
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			fail(err)
+		}
+		nodes[id] = n
+		order = append(order, id)
+	}
+	crashed := map[cluster.MemberID]bool{}
+	defer func() {
+		for id, n := range nodes {
+			if !crashed[id] {
+				n.Stop()
+			}
+		}
+	}()
+	for _, id := range order[1:] {
+		if err := nodes[id].JoinCluster(nodes[order[0]].Addr()); err != nil {
+			fail(err)
+		}
+	}
+	tickAll := func(k int) {
+		for i := 0; i < k; i++ {
+			for _, id := range order {
+				if !crashed[id] {
+					nodes[id].Tick()
+				}
+			}
+		}
+	}
+	background := func() {
+		for _, id := range order {
+			if !crashed[id] {
+				nodes[id].ShipAll()
+				nodes[id].Reconcile()
+			}
+		}
+	}
+	tickAll(3)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	anyAddr := func() string {
+		for _, id := range order {
+			if !crashed[id] {
+				return nodes[id].Addr()
+			}
+		}
+		fail(fmt.Errorf("no live members"))
+		return ""
+	}
+	postJSON := func(path string, body interface{}, out interface{}) (int, error) {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post("http://"+anyAddr()+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	// Create the replicated session through any member.
+	var ri struct {
+		Primary struct {
+			ID string `json:"id"`
+		} `json:"primary"`
+	}
+	cfg := map[string]interface{}{"strategies": []string{"Minim", "CP", "BBB"}, "sync_every": 1, "segment_bytes": 4096}
+	if code, err := postJSON("/cluster/sessions", map[string]interface{}{"id": session, "config": cfg}, &ri); err != nil || code != http.StatusCreated {
+		fail(fmt.Errorf("create: code %d err %v", code, err))
+	}
+	primary := cluster.MemberID(ri.Primary.ID)
+	start := time.Now()
+
+	// The write loop: apply in small batches (retrying 429s), with the
+	// background loops running between batches; kill the primary
+	// mid-script and keep writing.
+	rng := xrand.New(seed + 99)
+	killAt := len(script) / 2
+	applied, rejected := 0, 0
+	applyBatch := func(evs []strategy.Event) {
+		recs := make([]trace.EventRecord, len(evs))
+		for i, ev := range evs {
+			if recs[i], err = trace.EncodeEvent(ev); err != nil {
+				fail(err)
+			}
+		}
+		pending := recs
+		for len(pending) > 0 {
+			var out struct {
+				Applied int    `json:"applied"`
+				Error   string `json:"error"`
+			}
+			code, err := postJSON("/v1/sessions/"+session+"/events", map[string]interface{}{"events": pending}, &out)
+			if err != nil {
+				fail(err)
+			}
+			switch code {
+			case http.StatusOK:
+				applied += out.Applied
+				pending = nil
+			case http.StatusTooManyRequests:
+				rejected++
+				applied += out.Applied
+				pending = pending[out.Applied:]
+				time.Sleep(200 * time.Microsecond)
+			default:
+				fail(fmt.Errorf("apply: HTTP %d (%s)", code, out.Error))
+			}
+		}
+	}
+	for applied < killAt {
+		n := 1 + rng.Intn(8)
+		if applied+n > killAt {
+			n = killAt - applied
+		}
+		applyBatch(script[applied : applied+n])
+		if rng.Float64() < 0.5 {
+			background()
+		}
+		if rng.Float64() < 0.3 {
+			tickAll(1)
+		}
+	}
+
+	// Kill the primary mid-run.
+	nodes[primary].Crash()
+	crashed[primary] = true
+	if verbose {
+		fmt.Printf("  killed primary %s at event %d\n", primary, applied)
+	}
+	tickAll(4)
+	background()
+
+	// The client re-reads the promoted sequence number and resumes.
+	resp, err := client.Get("http://" + anyAddr() + "/v1/sessions/" + session)
+	if err != nil {
+		fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		fail(fmt.Errorf("session status after failover: HTTP %d (promotion or routing failed)", resp.StatusCode))
+	}
+	var st struct {
+		Seq int `json:"seq"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		fail(err)
+	}
+	if st.Seq > applied {
+		fail(fmt.Errorf("promoted seq %d beyond applied %d", st.Seq, applied))
+	}
+	if verbose {
+		fmt.Printf("  promoted at acked offset %d (%d accepted-but-unacked events resubmitted)\n", st.Seq, applied-st.Seq)
+	}
+	resumedFrom := st.Seq
+	for i := resumedFrom; i < len(script); i += 16 {
+		end := min(i+16, len(script))
+		applyBatch(script[i:end])
+		if rng.Float64() < 0.5 {
+			background()
+		}
+	}
+	background()
+	elapsed := time.Since(start)
+
+	// Differential verification: the survivors' final state must match
+	// a single-process run of the full script, strategy by strategy.
+	names := []sim.StrategyName{sim.Minim, sim.CP, sim.BBB}
+	ref, err := sim.NewEngineSession(names, false)
+	if err != nil {
+		fail(err)
+	}
+	if err := ref.Apply(script); err != nil {
+		fail(err)
+	}
+	var host *cluster.Node
+	for _, id := range order {
+		if crashed[id] {
+			continue
+		}
+		if _, ok := nodes[id].Manager().Get(session); ok {
+			host = nodes[id]
+		}
+	}
+	if host == nil {
+		fail(fmt.Errorf("no survivor hosts the session"))
+	}
+	s, _ := host.Manager().Get(session)
+	if err := s.Barrier(); err != nil {
+		fail(err)
+	}
+	v := s.View()
+	if v.Seq() != len(script) {
+		fail(fmt.Errorf("final seq %d, want %d", v.Seq(), len(script)))
+	}
+	net := adhoc.New()
+	for _, nid := range v.Nodes() {
+		c, _ := v.Config(nid)
+		if err := net.Join(nid, c); err != nil {
+			fail(err)
+		}
+	}
+	for _, name := range names {
+		rs, _ := ref.StrategyOf(name)
+		got, _ := v.Assignment(string(name))
+		if !reflect.DeepEqual(got, rs.Assignment()) {
+			fail(fmt.Errorf("%s assignment differs from the uncrashed reference", name))
+		}
+		if vs := toca.Verify(net.Graph(), got); len(vs) > 0 {
+			fail(fmt.Errorf("%s: %d CA1/CA2 violations", name, len(vs)))
+		}
+	}
+
+	fmt.Printf("cluster load    : %d members, %d replicas, primary %s killed at event %d\n", members, replicas, primary, killAt)
+	fmt.Printf("events applied  : %d (+%d resubmitted after failover, %d backpressure retries, %.0f events/s)\n",
+		len(script), killAt-resumedFrom, rejected, float64(applied)/elapsed.Seconds())
+	fmt.Printf("failover        : promoted at acked offset %d; continued run bit-identical to uncrashed reference\n", resumedFrom)
+	fmt.Printf("CA1/CA2         : valid for all 3 strategies on the promoted primary\n")
+}

@@ -41,23 +41,25 @@ import (
 
 func main() {
 	var (
-		strat    = flag.String("strategy", "Minim", "recoding strategy: Minim, CP, or BBB")
-		n        = flag.Int("n", 100, "number of stations")
-		minr     = flag.Float64("minr", 20.5, "minimum transmission range")
-		maxr     = flag.Float64("maxr", 30.5, "maximum transmission range")
-		churn    = flag.Int("churn", 0, "extra mixed events after the joins")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		doGossip = flag.Bool("gossip", false, "run gossip compaction after the scenario")
-		doRadio  = flag.Bool("radio", false, "run a chip-level all-transmit radio check")
-		saveTo   = flag.String("save", "", "save the generated event script as a JSON trace")
-		replay   = flag.String("replay", "", "replay a JSON trace instead of generating a workload")
-		arena    = flag.Float64("arena", 100, "arena side length")
-		shards   = flag.Int("shards", 1, "region shards (>1 runs the parallel sharded runtime)")
-		hotspots = flag.Int("hotspots", 0, "IPPP joins: number of Gaussian hot spots (0 = uniform; workload is independent of -shards)")
-		sessions = flag.Int("serve-sessions", 0, "load-generator mode: drive this many concurrent serve sessions with IPPP traffic")
-		readers  = flag.Int("serve-readers", 2, "load-generator mode: concurrent snapshot readers per session")
-		serveDir = flag.String("serve-dir", "", "load-generator mode: WAL directory (empty disables durability)")
-		verbose  = flag.Bool("v", false, "per-event output")
+		strat           = flag.String("strategy", "Minim", "recoding strategy: Minim, CP, or BBB")
+		n               = flag.Int("n", 100, "number of stations")
+		minr            = flag.Float64("minr", 20.5, "minimum transmission range")
+		maxr            = flag.Float64("maxr", 30.5, "maximum transmission range")
+		churn           = flag.Int("churn", 0, "extra mixed events after the joins")
+		seed            = flag.Uint64("seed", 1, "workload seed")
+		doGossip        = flag.Bool("gossip", false, "run gossip compaction after the scenario")
+		doRadio         = flag.Bool("radio", false, "run a chip-level all-transmit radio check")
+		saveTo          = flag.String("save", "", "save the generated event script as a JSON trace")
+		replay          = flag.String("replay", "", "replay a JSON trace instead of generating a workload")
+		arena           = flag.Float64("arena", 100, "arena side length")
+		shards          = flag.Int("shards", 1, "region shards (>1 runs the parallel sharded runtime)")
+		hotspots        = flag.Int("hotspots", 0, "IPPP joins: number of Gaussian hot spots (0 = uniform; workload is independent of -shards)")
+		sessions        = flag.Int("serve-sessions", 0, "load-generator mode: drive this many concurrent serve sessions with IPPP traffic")
+		readers         = flag.Int("serve-readers", 2, "load-generator mode: concurrent snapshot readers per session")
+		serveDir        = flag.String("serve-dir", "", "load-generator mode: WAL directory (empty disables durability)")
+		clusterSmoke    = flag.Bool("cluster-smoke", false, "cluster mode: run an in-process 3-member cluster over real HTTP, kill the primary mid-run, keep writing through the failover, and verify against an uncrashed reference")
+		clusterReplicas = flag.Int("cluster-replicas", 2, "cluster mode: follower replicas per session")
+		verbose         = flag.Bool("v", false, "per-event output")
 	)
 	flag.Parse()
 
@@ -68,6 +70,10 @@ func main() {
 	p.ArenaW, p.ArenaH = *arena, *arena
 	gx, gy := gridFor(*shards)
 
+	if *clusterSmoke {
+		runClusterLoad(p, *churn, *hotspots, *seed, *clusterReplicas, *verbose)
+		return
+	}
 	if *sessions > 0 {
 		runServeLoad(p, *sessions, *readers, *churn, *hotspots, *seed, *serveDir, *verbose)
 		return

@@ -225,7 +225,9 @@ func applyWave(eng *engine.Engine, r *core.Recoder, joins []strategy.Event, work
 			if assign[id] != c {
 				recodings++
 			}
-			assign[id] = c
+			// Install through the recoder so its max-color accumulator
+			// tracks the wave's writes.
+			r.SetColor(id, c)
 		}
 	}
 	return recodings, nil

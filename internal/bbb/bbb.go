@@ -76,6 +76,12 @@ func (s *Strategy) Network() *adhoc.Network { return s.net }
 // Assignment implements strategy.Strategy.
 func (s *Strategy) Assignment() toca.Assignment { return s.assign }
 
+// SetColor installs an externally computed color (toca.None removes the
+// entry). It is the write path the shard coordinator uses so hosted
+// strategies can keep internal accounting consistent with external
+// assignment mutations.
+func (s *Strategy) SetColor(id graph.NodeID, c toca.Color) { s.assign.Set(id, c) }
+
 // Apply implements strategy.Strategy: update the topology (via the
 // shared engine decoder), then recolor the whole network centrally.
 // Shared instances are driven by their engine and reject direct Apply.

@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/adhoc"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/toca"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var clusterNames = []string{"Minim", "CP", "BBB"}
+
+// testScript builds a two-phase scenario: n joins, then churn.
+func testScript(seed uint64, n, churn int) []strategy.Event {
+	p := workload.Defaults()
+	p.N = n
+	all := workload.Churn(seed, p, churn, workload.ChurnWeights{Join: 1, Leave: 1, Move: 3, Power: 2})
+	return all
+}
+
+// harness runs an in-process cluster over real HTTP: every member a
+// full Node with its own listener, WAL directory, and membership table.
+type harness struct {
+	t        *testing.T
+	nodes    map[MemberID]*Node
+	order    []MemberID
+	crashed  map[MemberID]bool
+	dirs     map[MemberID]string
+	replicas int
+	client   *http.Client
+}
+
+func newHarness(t *testing.T, members, replicas int) *harness {
+	t.Helper()
+	h := &harness{
+		t:        t,
+		nodes:    make(map[MemberID]*Node),
+		crashed:  make(map[MemberID]bool),
+		dirs:     make(map[MemberID]string),
+		replicas: replicas,
+		client:   &http.Client{Timeout: 10 * time.Second},
+	}
+	for i := 0; i < members; i++ {
+		id := MemberID(fmt.Sprintf("m%d", i))
+		dir := t.TempDir()
+		n, err := NewNode(Config{
+			ID: id, Dir: dir, Replicas: replicas,
+			FailAfter: 2, Fanout: 2, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		h.nodes[id] = n
+		h.dirs[id] = dir
+		h.order = append(h.order, id)
+	}
+	seed := h.nodes[h.order[0]].Addr()
+	for _, id := range h.order[1:] {
+		if err := h.nodes[id].JoinCluster(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.tickAll(3)
+	for _, id := range h.order {
+		if got := len(h.nodes[id].Membership().Alive()); got != members {
+			t.Fatalf("%s sees %d alive members, want %d", id, got, members)
+		}
+	}
+	t.Cleanup(func() {
+		for id, n := range h.nodes {
+			if !h.crashed[id] {
+				n.Stop()
+			}
+		}
+	})
+	return h
+}
+
+// addNode starts one more member and joins it to the cluster.
+func (h *harness) addNode(replicas int) *Node {
+	h.t.Helper()
+	id := MemberID(fmt.Sprintf("m%d", len(h.order)))
+	dir := h.t.TempDir()
+	h.dirs[id] = dir
+	n, err := NewNode(Config{
+		ID: id, Dir: dir, Replicas: replicas,
+		FailAfter: 2, Fanout: 2, Seed: uint64(len(h.order)) + 1,
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		h.t.Fatal(err)
+	}
+	if err := n.JoinCluster(h.anyAddr()); err != nil {
+		h.t.Fatal(err)
+	}
+	h.nodes[id] = n
+	h.order = append(h.order, id)
+	h.t.Cleanup(func() {
+		if !h.crashed[id] {
+			n.Stop()
+		}
+	})
+	return n
+}
+
+// restartAll crashes every member, then boots fresh processes over the
+// same WAL directories: each recovers its persisted sessions as
+// follower replicas (Node.Recover), rejoins gossip, and Reconcile
+// re-elects leadership from whoever holds the freshest data.
+func (h *harness) restartAll() {
+	h.t.Helper()
+	for _, id := range h.order {
+		if !h.crashed[id] {
+			h.crash(id)
+		}
+	}
+	h.nodes = make(map[MemberID]*Node)
+	h.crashed = make(map[MemberID]bool)
+	for i, id := range h.order {
+		n, err := NewNode(Config{
+			ID: id, Dir: h.dirs[id], Replicas: h.replicas,
+			FailAfter: 2, Fanout: 2, Seed: uint64(i) + 100,
+		})
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			h.t.Fatal(err)
+		}
+		if err := n.Recover(); err != nil {
+			h.t.Fatal(err)
+		}
+		h.nodes[id] = n
+		h.t.Cleanup(func() {
+			if !h.crashed[id] {
+				n.Stop()
+			}
+		})
+	}
+	seed := h.nodes[h.order[0]].Addr()
+	for _, id := range h.order[1:] {
+		if err := h.nodes[id].JoinCluster(seed); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	h.tickAll(3)
+}
+
+// tickAll advances every live member k gossip rounds.
+func (h *harness) tickAll(k int) {
+	for i := 0; i < k; i++ {
+		for _, id := range h.order {
+			if !h.crashed[id] {
+				h.nodes[id].Tick()
+			}
+		}
+	}
+}
+
+// reconcileAll runs one reconcile step on every live member.
+func (h *harness) reconcileAll() {
+	for _, id := range h.order {
+		if !h.crashed[id] {
+			if err := h.nodes[id].Reconcile(); err != nil {
+				h.t.Fatalf("%s reconcile: %v", id, err)
+			}
+		}
+	}
+}
+
+// shipAll runs one replication round on every live member.
+func (h *harness) shipAll() {
+	for _, id := range h.order {
+		if !h.crashed[id] {
+			if err := h.nodes[id].ShipAll(); err != nil {
+				h.t.Fatalf("%s ship: %v", id, err)
+			}
+		}
+	}
+}
+
+// crash kills a member: HTTP down, sessions aborted, gossip silent.
+func (h *harness) crash(id MemberID) {
+	h.nodes[id].Crash()
+	h.crashed[id] = true
+}
+
+// anyAddr returns a live member's address.
+func (h *harness) anyAddr() string {
+	for _, id := range h.order {
+		if !h.crashed[id] {
+			return h.nodes[id].Addr()
+		}
+	}
+	h.t.Fatal("no live members")
+	return ""
+}
+
+// postJSON posts to a live member and decodes the response, following
+// redirects.
+func (h *harness) postJSON(addr, path string, body, out interface{}, wantCode int) {
+	h.t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := h.client.Post("http://"+addr+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var e map[string]interface{}
+		json.NewDecoder(resp.Body).Decode(&e)
+		h.t.Fatalf("POST %s: %s (%v), want %d", path, resp.Status, e, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+// createSession creates a replicated session through any member
+// (redirected to the rendezvous owner) and returns its route.
+func (h *harness) createSession(id string, cfg SessionConfig) routeInfo {
+	h.t.Helper()
+	var ri routeInfo
+	h.postJSON(h.anyAddr(), "/cluster/sessions", createReq{ID: id, Config: cfg}, &ri, http.StatusCreated)
+	return ri
+}
+
+// route resolves a session's current placement through any member.
+func (h *harness) route(session string) routeInfo {
+	h.t.Helper()
+	resp, err := h.client.Get("http://" + h.anyAddr() + "/cluster/route?session=" + session)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ri routeInfo
+	if err := json.NewDecoder(resp.Body).Decode(&ri); err != nil {
+		h.t.Fatal(err)
+	}
+	return ri
+}
+
+// applyEvents writes a batch through the public HTTP API (any member;
+// redirects land on the primary) and asserts every event applied.
+func (h *harness) applyEvents(session string, evs []strategy.Event) {
+	h.t.Helper()
+	type eventsReq struct {
+		Events []trace.EventRecord `json:"events"`
+	}
+	var req eventsReq
+	for _, ev := range evs {
+		ej, err := trace.EncodeEvent(ev)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		req.Events = append(req.Events, ej)
+	}
+	var out struct {
+		Applied int `json:"applied"`
+		Seq     int `json:"seq"`
+	}
+	h.postJSON(h.anyAddr(), "/v1/sessions/"+session+"/events", req, &out, http.StatusOK)
+	if out.Applied != len(evs) {
+		h.t.Fatalf("applied %d of %d events", out.Applied, len(evs))
+	}
+}
+
+// seqOf reads a session's sequence number over HTTP (what a client
+// resuming after failover would do).
+func (h *harness) seqOf(session string) int {
+	h.t.Helper()
+	resp, err := h.client.Get("http://" + h.anyAddr() + "/v1/sessions/" + session)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.t.Fatalf("status of %s: %s", session, resp.Status)
+	}
+	var out struct {
+		Seq int `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		h.t.Fatal(err)
+	}
+	return out.Seq
+}
+
+// refSession drives a single-process reference engine over a script
+// prefix.
+func refSession(t *testing.T, events []strategy.Event) *sim.EngineSession {
+	t.Helper()
+	names := make([]sim.StrategyName, len(clusterNames))
+	for i, n := range clusterNames {
+		names[i] = sim.StrategyName(n)
+	}
+	ref, err := sim.NewEngineSession(names, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Apply(events); err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// sameGraph asserts two digraphs have identical node and edge sets.
+func sameGraph(t *testing.T, tag string, got, want *graph.Digraph) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Nodes(), want.Nodes()) {
+		t.Fatalf("%s: node sets differ", tag)
+	}
+	for _, u := range want.Nodes() {
+		if !reflect.DeepEqual(got.OutNeighbors(u), want.OutNeighbors(u)) {
+			t.Fatalf("%s: out-neighbors of %d differ", tag, u)
+		}
+	}
+}
+
+// assertSessionEquals compares a live cluster session bit-for-bit
+// (topology, digraph, assignments, metrics incl. RecodingsByKind)
+// against the reference at wantSeq.
+func assertSessionEquals(t *testing.T, tag string, s *serve.Session, ref *sim.EngineSession, wantSeq int) {
+	t.Helper()
+	if got := s.View().Seq(); got != wantSeq {
+		t.Fatalf("%s: seq %d, want %d", tag, got, wantSeq)
+	}
+	if err := s.InspectState(func(net *adhoc.Network, assigns []toca.Assignment, metrics []*strategy.Metrics) {
+		sameGraph(t, tag, net.Graph(), ref.Engine().Network().Graph())
+		for _, id := range ref.Engine().Network().Nodes() {
+			wc, _ := ref.Engine().Network().Config(id)
+			gc, ok := net.Config(id)
+			if !ok || gc != wc {
+				t.Fatalf("%s: config of %d = %+v/%v, want %+v", tag, id, gc, ok, wc)
+			}
+		}
+		for i, name := range clusterNames {
+			rs, _ := ref.StrategyOf(sim.StrategyName(name))
+			if !reflect.DeepEqual(assigns[i], rs.Assignment()) {
+				t.Fatalf("%s: %s assignment differs", tag, name)
+			}
+			rm, _ := ref.MetricsOf(sim.StrategyName(name))
+			if !reflect.DeepEqual(metrics[i], rm) {
+				t.Fatalf("%s: %s metrics %+v, want %+v", tag, name, metrics[i], rm)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nodeHosting returns the live node currently leading the session.
+func (h *harness) nodeHosting(session string) *Node {
+	h.t.Helper()
+	for _, id := range h.order {
+		if h.crashed[id] {
+			continue
+		}
+		if _, ok := h.nodes[id].Manager().Get(session); ok {
+			return h.nodes[id]
+		}
+	}
+	h.t.Fatalf("no live member hosts %q", session)
+	return nil
+}

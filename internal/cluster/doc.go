@@ -1,0 +1,86 @@
+// Package cluster turns a set of cdmaserved processes into one fleet:
+// every session has a single primary and R follower replicas, placed by
+// rendezvous hashing over a gossip-maintained membership table, with
+// the primary's per-session WAL (the internal/trace record encoding)
+// shipped to followers over HTTP and failover by promoting the next
+// rendezvous owner through the existing crash-recovery path.
+//
+// # Membership
+//
+// Liveness is tracked without a central coordinator, in the style of
+// gossip membership protocols (cf. Brahms): each member keeps a table
+// of (member, address, heartbeat counter) rows, bumps its own counter
+// every tick, and push-pulls its table with a few random live peers.
+// Rows merge by taking the higher heartbeat. A member whose heartbeat
+// has not advanced for FailAfter local ticks is considered dead and
+// drops out of the alive set; if it returns, its advancing heartbeat
+// resurrects it. Ticks are explicit (the daemon loop drives them on a
+// timer; tests drive them synchronously), so failure detection is
+// deterministic under test.
+//
+// # Placement
+//
+// Owners of a session are chosen by rendezvous (highest-random-weight)
+// hashing: every member is scored by a hash of (member ID, session ID)
+// and the R+1 highest-scoring live members own the session — the first
+// as primary, the rest as followers. Rendezvous hashing gives minimal
+// disruption: a member's death reassigns only the sessions it owned,
+// and a joining member steals only the sessions it now scores highest
+// on (moved there by an explicit handoff, never by a unilateral grab).
+//
+// # Replication: WAL shipping with acknowledged offsets
+//
+// The primary applies writes exactly as a single-process session does
+// (internal/serve: single-writer mailbox, durable segmented WAL). A
+// per-follower shipper tails the session's WAL file with offset reads
+// (sealed segments are immutable; the active segment is read up to its
+// last complete record) and POSTs batches of records to the follower.
+// The follower hosts a serve.Replica — a continuously recovering
+// standby with no writer mailbox: it appends the records to its own
+// local WAL, applies them through the normal recoding path for a warm
+// state, fsyncs, and only then acknowledges the new offset. The
+// acknowledged offset is therefore a durability fact: everything at or
+// below it survives a follower crash, torn tails and all, under the
+// exact rules PR 3 proved for single-process recovery. Duplicate
+// batches (shipper retries) deduplicate by sequence number; a gap makes
+// the follower NACK so the shipper rewinds to the start of the log.
+//
+// # Failover and rebalance
+//
+// When the membership table declares a primary dead, the next
+// rendezvous owner that holds a replica promotes it: the warm standby
+// is discarded and the replica's local WAL is re-opened through the
+// same crash-recovery path a restarted process would use, yielding a
+// session bit-identical to the dead primary at the replica's last
+// acknowledged offset. A data-holding owner out-ranked by a member
+// that joined mid-failover (and so holds nothing) still promotes: it
+// probes better-ranked owners (GET /cluster/holds) and defers only to
+// one that actually serves or replicates the session. Replicas
+// stranded outside the owner set are decommissioned once the session
+// is demonstrably healthy elsewhere, so a stale orphan can never be
+// promoted later and roll back acknowledged writes. The promoted node then ships to the new follower
+// set. Clients discover the new primary through GET /cluster/route (and
+// are 307-redirected by any member they ask); they resume writing from
+// the promoted session's sequence number. When a member joins and
+// becomes rendezvous primary of an existing session, the current
+// primary hands off: it ships the log to completion, asks the new owner
+// to
+// adopt (promote) it, then demotes itself to a follower over its own
+// WAL — writes continue at the new primary.
+//
+// # What failover guarantees — and what it does not
+//
+// Promotion preserves exactly the acknowledged prefix: assignments,
+// digraphs, and per-strategy metrics (including RecodingsByKind) equal
+// the failed primary's state at the last acked WAL offset, bit for bit.
+// Events the primary accepted but had not yet shipped-and-acked —
+// mailbox residue and the unacked WAL tail — are lost, exactly as a
+// single-process crash loses its unflushed tail; clients that need an
+// event to survive failover must see it reflected in the follower acked
+// offsets first (or resubmit from the promoted seq, which the load
+// generator and the failover tests do). Split-brain is avoided by the
+// handoff protocol, not by consensus: this is a deterministic
+// reproduction harness, not a Paxos implementation, and the membership
+// table is authoritative for the tests' failure model (full process
+// crashes, no partitions).
+package cluster

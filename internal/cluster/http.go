@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// adoptReq asks a member to promote its replica of a session — the
+// handoff message a demoting primary sends after shipping the log to
+// completion.
+type adoptReq struct {
+	Session string        `json:"session"`
+	Config  SessionConfig `json:"config"`
+	From    MemberID      `json:"from"`
+}
+
+// adoptResp reports the promoted session's sequence number, which the
+// old primary cross-checks against its final seq.
+type adoptResp struct {
+	Seq int `json:"seq"`
+}
+
+// createReq creates a replicated session.
+type createReq struct {
+	ID     string        `json:"id"`
+	Config SessionConfig `json:"config"`
+}
+
+// routeInfo answers /cluster/route: where a session's primary and
+// followers currently are.
+type routeInfo struct {
+	Session   string   `json:"session"`
+	Primary   Member   `json:"primary"`
+	Followers []Member `json:"followers"`
+}
+
+// Handler exposes the member over HTTP: the cluster control plane
+// (gossip, route, ship, adopt, create) plus the serve /v1 session API
+// for the sessions this member leads. Requests for sessions led
+// elsewhere are 307-redirected to the rendezvous primary, so any member
+// is a valid entry point.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	v1 := serve.NewHandler(n.mgr)
+
+	mux.HandleFunc("POST /cluster/gossip", n.handleGossip)
+	mux.HandleFunc("GET /cluster/members", n.handleMembers)
+	mux.HandleFunc("GET /cluster/route", n.handleRoute)
+	mux.HandleFunc("POST /cluster/sessions", n.handleCreate)
+	mux.HandleFunc("POST /cluster/ship/{id}", n.handleShip)
+	mux.HandleFunc("POST /cluster/adopt/{id}", n.handleAdopt)
+	mux.HandleFunc("GET /cluster/holds/{id}", n.handleHolds)
+	mux.Handle("/v1/", n.redirectNonLocal(v1))
+	return mux
+}
+
+func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var table []Member
+	if err := json.NewDecoder(r.Body).Decode(&table); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.ms.Merge(table)
+	writeJSON(w, http.StatusOK, n.ms.Table())
+}
+
+func (n *Node) handleMembers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"self":  n.ms.Self(),
+		"alive": n.ms.Alive(),
+		"table": n.ms.Table(),
+	})
+}
+
+// primaryFor computes a session's rendezvous owners among live members.
+func (n *Node) primaryFor(session string) (routeInfo, bool) {
+	owners := Owners(session, n.ms.Alive(), n.cfg.Replicas+1)
+	if len(owners) == 0 {
+		return routeInfo{}, false
+	}
+	return routeInfo{Session: session, Primary: owners[0], Followers: owners[1:]}, true
+}
+
+func (n *Node) handleRoute(w http.ResponseWriter, r *http.Request) {
+	session := r.URL.Query().Get("session")
+	if session == "" {
+		httpErr(w, http.StatusBadRequest, errors.New("cluster: route needs ?session="))
+		return
+	}
+	ri, ok := n.primaryFor(session)
+	if !ok {
+		httpErr(w, http.StatusServiceUnavailable, errors.New("cluster: no live members"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ri)
+}
+
+func (n *Node) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ri, ok := n.primaryFor(req.ID)
+	if !ok {
+		httpErr(w, http.StatusServiceUnavailable, errors.New("cluster: no live members"))
+		return
+	}
+	if ri.Primary.ID != n.cfg.ID {
+		// The rendezvous owner creates the session; send the client
+		// there with its body intact.
+		http.Redirect(w, r, "http://"+ri.Primary.Addr+"/cluster/sessions", http.StatusTemporaryRedirect)
+		return
+	}
+	if _, err := n.CreateSession(req.ID, req.Config); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, serve.ErrSessionExists) || errors.Is(err, serve.ErrReplicaExists) {
+			code = http.StatusConflict
+		}
+		httpErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, ri)
+}
+
+func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req shipReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Session != id {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: ship body names %q, path %q", req.Session, id))
+		return
+	}
+	if _, isPrimary := n.localPrimary(id); isPrimary {
+		// A stale shipper from a previous epoch; refuse rather than
+		// fork the session.
+		httpErr(w, http.StatusConflict, fmt.Errorf("cluster: %s leads %q; not accepting shipped records", n.cfg.ID, id))
+		return
+	}
+	rep, ok := n.mgr.GetReplica(id)
+	if !ok {
+		if req.Snap == nil {
+			// No replica and no bootstrap snapshot: ask the shipper to
+			// rewind.
+			writeJSON(w, http.StatusOK, shipResp{Acked: 0, Gap: true})
+			return
+		}
+		var err error
+		rep, err = n.mgr.NewReplica(id, req.Config.serveConfig(), *req.Snap)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		// Persist the config beside the WAL so a restarted follower can
+		// re-register this replica (Recover) instead of rebuilding from
+		// a bootstrap snapshot.
+		if err := n.persistSessionConfig(id, req.Config); err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	n.mu.Lock()
+	n.followers[id] = &followerState{cfg: req.Config, primary: req.Primary}
+	n.mu.Unlock()
+
+	evs := make([]strategy.Event, 0, len(req.Events))
+	for i, ej := range req.Events {
+		ev, err := trace.DecodeEvent(ej)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("event %d: %w", i, err))
+			return
+		}
+		evs = append(evs, ev)
+	}
+	acked, err := rep.Offer(req.From, evs)
+	switch {
+	case errors.Is(err, serve.ErrReplicaGap):
+		writeJSON(w, http.StatusOK, shipResp{Acked: acked, Gap: true})
+	case err != nil:
+		httpErr(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, shipResp{Acked: acked})
+	}
+}
+
+func (n *Node) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req adoptReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// The adopt request carries the authoritative session config; make
+	// sure the follower state promote() reads agrees with it even if no
+	// ship request ever populated it on this member.
+	n.mu.Lock()
+	if _, ok := n.followers[id]; !ok {
+		n.followers[id] = &followerState{cfg: req.Config, primary: req.From}
+	}
+	n.mu.Unlock()
+	if err := n.promote(id); err != nil {
+		if errors.Is(err, serve.ErrNoReplica) {
+			httpErr(w, http.StatusNotFound, err)
+			return
+		}
+		httpErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s, ok := n.mgr.Get(id)
+	if !ok {
+		httpErr(w, http.StatusInternalServerError, fmt.Errorf("cluster: promoted %q vanished", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, adoptResp{Seq: s.View().Seq()})
+}
+
+// handleHolds reports whether this member serves or replicates a
+// session — the probe Reconcile's promotion fallback and orphan
+// decommission use to learn where a session's data lives.
+func (n *Node) handleHolds(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	_, hasSession := n.mgr.Get(id)
+	rep, hasReplica := n.mgr.GetReplica(id)
+	out := map[string]interface{}{"session": hasSession, "replica": hasReplica}
+	if hasReplica {
+		out["seq"] = rep.Seq()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// localPrimary reports whether this member currently leads the session.
+func (n *Node) localPrimary(id string) (*primaryState, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ps, ok := n.primaries[id]
+	return ps, ok
+}
+
+// redirectNonLocal serves /v1 session requests for locally led sessions
+// and 307-redirects the rest to the session's rendezvous primary, so a
+// client may talk to any member.
+func (n *Node) redirectNonLocal(v1 http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sessionIDFromPath(r.URL.Path)
+		if id == "" {
+			v1.ServeHTTP(w, r)
+			return
+		}
+		if _, ok := n.mgr.Get(id); ok {
+			v1.ServeHTTP(w, r)
+			return
+		}
+		ri, ok := n.primaryFor(id)
+		if !ok || ri.Primary.ID == n.cfg.ID || ri.Primary.Addr == "" {
+			// Either no live members, or placement names this member
+			// but it has not (yet) promoted or created the session. A
+			// failover in progress is indistinguishable from a session
+			// that never existed, so answer retryable, never "gone" —
+			// a client that treats 404 as deleted could recreate and
+			// overwrite a session about to be promoted from a replica.
+			w.Header().Set("Retry-After", "1")
+			httpErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("cluster: session %q not served here (failover in progress or unknown session); retry", id))
+			return
+		}
+		http.Redirect(w, r, "http://"+ri.Primary.Addr+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	})
+}
+
+// sessionIDFromPath extracts {id} from /v1/sessions/{id}[/...], or ""
+// for collection-level paths.
+func sessionIDFromPath(p string) string {
+	rest, ok := strings.CutPrefix(p, "/v1/sessions/")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// MemberID identifies one cluster process.
+type MemberID string
+
+// Member is one row of the membership table: a process, where to reach
+// it, and how far its heartbeat has advanced. Within one incarnation
+// heartbeats only ever grow and a row merges by keeping the larger
+// one; a higher incarnation — a restarted process, whose heartbeat
+// counter starts over — always wins the merge outright. Without the
+// incarnation a restarted member could never resurrect against its own
+// old, higher heartbeat.
+type Member struct {
+	ID          MemberID `json:"id"`
+	Addr        string   `json:"addr"`
+	Incarnation int64    `json:"incarnation"`
+	Heartbeat   uint64   `json:"heartbeat"`
+}
+
+// memberState is a peer row plus the local round at which its heartbeat
+// last advanced — the staleness clock failure detection runs on.
+type memberState struct {
+	m           Member
+	lastAdvance int
+}
+
+// Membership is the gossip-style heartbeat exchanger: a decentralized
+// liveness table in the spirit of Brahms-like gossip membership. Every
+// Tick bumps the local heartbeat and push-pulls the full table with a
+// few random live peers; a peer whose heartbeat stops advancing for
+// FailAfter local ticks is declared dead. Ticks are driven explicitly
+// (timer in the daemon, synchronous calls in tests), which keeps
+// failure detection deterministic.
+type Membership struct {
+	mu        sync.Mutex
+	self      Member
+	rounds    int
+	peers     map[MemberID]*memberState
+	failAfter int
+	fanout    int
+	rng       *xrand.RNG
+}
+
+// NewMembership returns a table for the given member. failAfter is the
+// number of local ticks without heartbeat progress before a peer is
+// dead (default 3); fanout the number of peers gossiped with per tick
+// (default 2).
+func NewMembership(id MemberID, failAfter, fanout int, seed uint64) *Membership {
+	if failAfter <= 0 {
+		failAfter = 3
+	}
+	if fanout <= 0 {
+		fanout = 2
+	}
+	return &Membership{
+		self:      Member{ID: id, Incarnation: time.Now().UnixNano()},
+		peers:     make(map[MemberID]*memberState),
+		failAfter: failAfter,
+		fanout:    fanout,
+		rng:       xrand.New(seed),
+	}
+}
+
+// SetAddr records the member's own advertised address (known once the
+// listener is bound).
+func (ms *Membership) SetAddr(addr string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.self.Addr = addr
+}
+
+// Self returns this member's current row.
+func (ms *Membership) Self() Member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.self
+}
+
+// Table snapshots the full membership table (self included), sorted by
+// ID — the payload of a gossip exchange.
+func (ms *Membership) Table() []Member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.tableLocked()
+}
+
+func (ms *Membership) tableLocked() []Member {
+	t := make([]Member, 0, len(ms.peers)+1)
+	t = append(t, ms.self)
+	for _, st := range ms.peers {
+		t = append(t, st.m)
+	}
+	sort.Slice(t, func(i, j int) bool { return t[i].ID < t[j].ID })
+	return t
+}
+
+// Merge folds a received table in: unknown members are added, a higher
+// incarnation replaces a row outright (process restart), and within
+// the same incarnation the higher heartbeat wins; any advance resets
+// the peer's staleness clock.
+func (ms *Membership) Merge(table []Member) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for _, m := range table {
+		if m.ID == ms.self.ID {
+			continue // nobody else is authoritative for our own row
+		}
+		st, ok := ms.peers[m.ID]
+		if !ok {
+			ms.peers[m.ID] = &memberState{m: m, lastAdvance: ms.rounds}
+			continue
+		}
+		if m.Incarnation > st.m.Incarnation ||
+			(m.Incarnation == st.m.Incarnation && m.Heartbeat > st.m.Heartbeat) {
+			st.m = m
+			st.lastAdvance = ms.rounds
+		}
+	}
+}
+
+// Alive returns the members currently considered live (self included),
+// sorted by ID.
+func (ms *Membership) Alive() []Member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	alive := []Member{ms.self}
+	for _, st := range ms.peers {
+		if ms.rounds-st.lastAdvance <= ms.failAfter {
+			alive = append(alive, st.m)
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].ID < alive[j].ID })
+	return alive
+}
+
+// IsAlive reports whether id is currently considered live.
+func (ms *Membership) IsAlive(id MemberID) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if id == ms.self.ID {
+		return true
+	}
+	st, ok := ms.peers[id]
+	return ok && ms.rounds-st.lastAdvance <= ms.failAfter
+}
+
+// Tick advances one gossip round: the local heartbeat grows, up to
+// fanout random live peers are push-pulled via exchange (our table out,
+// theirs back in), and unreachable peers simply contribute nothing —
+// their staleness clocks keep running. exchange runs outside the table
+// lock.
+func (ms *Membership) Tick(exchange func(addr string, table []Member) ([]Member, error)) {
+	ms.mu.Lock()
+	ms.rounds++
+	ms.self.Heartbeat++
+	var candidates []Member
+	for _, st := range ms.peers {
+		if ms.rounds-st.lastAdvance <= ms.failAfter {
+			candidates = append(candidates, st.m)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
+	// Random fanout-subset via partial Fisher-Yates (deterministic from
+	// the seed).
+	for i := 0; i < len(candidates)-1 && i < ms.fanout; i++ {
+		j := i + ms.rng.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	}
+	if len(candidates) > ms.fanout {
+		candidates = candidates[:ms.fanout]
+	}
+	table := ms.tableLocked()
+	ms.mu.Unlock()
+
+	for _, peer := range candidates {
+		if got, err := exchange(peer.Addr, table); err == nil {
+			ms.Merge(got)
+		}
+	}
+}

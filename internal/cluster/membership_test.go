@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// exchangeDirect wires Memberships together without HTTP: the test's
+// deterministic transport.
+func exchangeDirect(peers map[string]*Membership) func(addr string, table []Member) ([]Member, error) {
+	return func(addr string, table []Member) ([]Member, error) {
+		p := peers[addr]
+		p.Merge(table)
+		return p.Table(), nil
+	}
+}
+
+// TestMembershipConvergenceAndDeath: heartbeats spread to every member
+// within a few rounds; a member that stops ticking is declared dead
+// after FailAfter rounds; when it ticks again its advancing heartbeat
+// resurrects it.
+func TestMembershipConvergenceAndDeath(t *testing.T) {
+	const k = 4
+	peers := make(map[string]*Membership)
+	var all []*Membership
+	for i := 0; i < k; i++ {
+		id := MemberID(rune('a' + i))
+		ms := NewMembership(id, 2, 2, uint64(i)+1)
+		ms.SetAddr(string(id))
+		peers[string(id)] = ms
+		all = append(all, ms)
+	}
+	ex := exchangeDirect(peers)
+	// Introduce everyone through member a.
+	for _, ms := range all[1:] {
+		got, err := ex("a", ms.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms.Merge(got)
+	}
+	tick := func(skip MemberID) {
+		for _, ms := range all {
+			if ms.Self().ID != skip {
+				ms.Tick(ex)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		tick("")
+	}
+	for _, ms := range all {
+		if got := len(ms.Alive()); got != k {
+			t.Fatalf("%s sees %d alive, want %d", ms.Self().ID, got, k)
+		}
+	}
+
+	// d goes silent: after FailAfter=2 rounds without progress it is
+	// dead everywhere.
+	for i := 0; i < 4; i++ {
+		tick("d")
+	}
+	for _, ms := range all[:3] {
+		if ms.IsAlive("d") {
+			t.Fatalf("%s still sees d alive after silence", ms.Self().ID)
+		}
+		if got := len(ms.Alive()); got != k-1 {
+			t.Fatalf("%s sees %d alive, want %d", ms.Self().ID, got, k-1)
+		}
+	}
+
+	// d returns: its heartbeat advances and it is resurrected.
+	for i := 0; i < 3; i++ {
+		tick("")
+	}
+	for _, ms := range all[:3] {
+		if !ms.IsAlive("d") {
+			t.Fatalf("%s did not resurrect d", ms.Self().ID)
+		}
+	}
+}
+
+// TestMembershipRestartResurrects: a member that RESTARTS comes back
+// with its heartbeat counter reset to zero but a higher incarnation;
+// the incarnation must win the merge, or the restarted process would
+// stay dead for as long as its previous uptime.
+func TestMembershipRestartResurrects(t *testing.T) {
+	peers := make(map[string]*Membership)
+	a := NewMembership("a", 2, 2, 1)
+	a.SetAddr("a")
+	peers["a"] = a
+	b := NewMembership("b", 2, 2, 2)
+	b.SetAddr("b")
+	peers["b"] = b
+	ex := exchangeDirect(peers)
+	// b accrues a large heartbeat, then dies.
+	for i := 0; i < 10; i++ {
+		a.Tick(ex)
+		b.Tick(ex)
+	}
+	for i := 0; i < 4; i++ {
+		a.Tick(ex)
+	}
+	if a.IsAlive("b") {
+		t.Fatal("silent b still alive")
+	}
+	// b restarts: fresh Membership, heartbeat back at zero but a newer
+	// incarnation.
+	time.Sleep(time.Millisecond) // incarnations are boot timestamps
+	b2 := NewMembership("b", 2, 2, 3)
+	b2.SetAddr("b")
+	peers["b"] = b2
+	if b2.Self().Incarnation <= b.Self().Incarnation {
+		t.Fatal("restart did not advance the incarnation")
+	}
+	got, err := ex("a", b2.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Merge(got)
+	b2.Tick(ex)
+	a.Tick(ex)
+	if !a.IsAlive("b") {
+		t.Fatal("restarted b not resurrected despite fresh incarnation")
+	}
+}
+
+// TestMembershipSelfAuthoritative: nobody can advance our own row —
+// a stale echo of self is ignored on merge.
+func TestMembershipSelfAuthoritative(t *testing.T) {
+	ms := NewMembership("a", 2, 2, 1)
+	ms.SetAddr("a")
+	ms.Merge([]Member{{ID: "a", Addr: "bogus", Heartbeat: 999}})
+	if self := ms.Self(); self.Heartbeat != 0 || self.Addr != "a" {
+		t.Fatalf("self row mutated by merge: %+v", self)
+	}
+}

@@ -1,0 +1,780 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Config parameterizes one cluster member.
+type Config struct {
+	// ID is the member's stable identity (required, unique in the
+	// cluster).
+	ID MemberID
+	// Dir is the WAL root for this member's sessions and replicas
+	// (required: a cluster member is always durable).
+	Dir string
+	// Replicas is R, the number of follower replicas per session
+	// (default 1).
+	Replicas int
+	// FailAfter is the number of gossip ticks without heartbeat
+	// progress before a member is declared dead (default 3).
+	FailAfter int
+	// Fanout is the number of peers gossiped with per tick (default 2).
+	Fanout int
+	// Seed feeds the gossip peer selection.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	return c
+}
+
+// primaryState is a session this member leads: its wire config and one
+// shipper per follower.
+type primaryState struct {
+	cfg      SessionConfig
+	shippers map[MemberID]*shipper
+}
+
+// followerState is a session this member replicates and who it believes
+// is currently shipping to it — the leader whose death triggers a
+// unilateral promotion.
+type followerState struct {
+	cfg     SessionConfig
+	primary MemberID
+}
+
+// Node is one cluster member: a serve.Manager for the sessions it
+// leads, serve.Replicas for the sessions it follows, a gossip
+// membership table, and the placement/shipping/failover control logic.
+// The steady-state driver is Tick + ShipAll + Reconcile, run by the
+// daemon loop (Run) or explicitly by tests.
+type Node struct {
+	cfg    Config
+	ms     *Membership
+	mgr    *serve.Manager
+	client *http.Client
+	// adoptClient carries the adopt RPC only: the adoptee replays its
+	// full log before answering, and a short transport timeout there is
+	// precisely what risks a dual-primary race (the old primary gives
+	// up while the promotion is still in flight).
+	adoptClient *http.Client
+
+	mu        sync.Mutex
+	primaries map[string]*primaryState
+	followers map[string]*followerState
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewNode builds a member. Call Start to bind its HTTP endpoint and
+// JoinCluster to introduce it to an existing member.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, errors.New("cluster: member needs an ID")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("cluster: member needs a WAL directory")
+	}
+	n := &Node{
+		cfg:         cfg,
+		ms:          NewMembership(cfg.ID, cfg.FailAfter, cfg.Fanout, cfg.Seed),
+		mgr:         serve.NewManager(cfg.Dir),
+		client:      &http.Client{Timeout: 10 * time.Second},
+		adoptClient: &http.Client{Timeout: 5 * time.Minute},
+		primaries:   make(map[string]*primaryState),
+		followers:   make(map[string]*followerState),
+	}
+	return n, nil
+}
+
+// Manager exposes the member's session manager (in-process callers and
+// tests).
+func (n *Node) Manager() *serve.Manager { return n.mgr }
+
+// Membership exposes the member's liveness table.
+func (n *Node) Membership() *Membership { return n.ms }
+
+// ID returns the member's identity.
+func (n *Node) ID() MemberID { return n.cfg.ID }
+
+// Start binds the member's HTTP endpoint (addr like "127.0.0.1:0") and
+// begins serving cluster and session requests.
+func (n *Node) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	n.ln = ln
+	n.ms.SetAddr(ln.Addr().String())
+	n.srv = &http.Server{Handler: n.Handler()}
+	go n.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address (valid after Start).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// JoinCluster introduces this member to the cluster through any
+// existing member's address: one immediate gossip exchange.
+func (n *Node) JoinCluster(seedAddr string) error {
+	got, err := n.gossipExchange(seedAddr, n.ms.Table())
+	if err != nil {
+		return err
+	}
+	n.ms.Merge(got)
+	return nil
+}
+
+// Tick advances one gossip round (heartbeat bump + push-pull with
+// random live peers).
+func (n *Node) Tick() { n.ms.Tick(n.gossipExchange) }
+
+func (n *Node) gossipExchange(addr string, table []Member) ([]Member, error) {
+	b, err := json.Marshal(table)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Post("http://"+addr+"/cluster/gossip", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: gossip with %s: %s", addr, resp.Status)
+	}
+	var got []Member
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// Stop shuts the member down gracefully: HTTP first, then every
+// session and replica (final WAL sync).
+func (n *Node) Stop() error {
+	if n.srv != nil {
+		n.srv.Close()
+	}
+	return n.mgr.CloseAll()
+}
+
+// Crash simulates the process dying: the HTTP endpoint drops
+// mid-flight, gossip stops (the member simply never ticks again), and
+// every session and replica is aborted — no final flush, snapshot, or
+// fsync beyond what group commits already pushed to the OS. The
+// failover tests kill primaries with it.
+func (n *Node) Crash() {
+	if n.srv != nil {
+		n.srv.Close()
+	}
+	n.mgr.Abort()
+}
+
+// walDir returns the on-disk WAL directory of one of this member's
+// sessions (the manager owns the layout).
+func (n *Node) walDir(session string) string {
+	p, err := n.mgr.WALDir(session)
+	if err != nil {
+		return "" // invalid id; TailWAL will fail loudly
+	}
+	return p
+}
+
+// cfgPath is where a session's SessionConfig is persisted beside its
+// WAL — the piece of state (sharding geometry, strategies) the WAL
+// snapshot alone cannot reconstruct on a process restart.
+func (n *Node) cfgPath(session string) string {
+	return filepath.Join(n.cfg.Dir, session+".cfg")
+}
+
+func (n *Node) persistSessionConfig(session string, cfg SessionConfig) error {
+	if err := os.MkdirAll(n.cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(n.cfgPath(session), b, 0o644)
+}
+
+func (n *Node) readSessionConfig(session string) (SessionConfig, error) {
+	b, err := os.ReadFile(n.cfgPath(session))
+	if err != nil {
+		return SessionConfig{}, err
+	}
+	var cfg SessionConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return SessionConfig{}, err
+	}
+	return cfg, nil
+}
+
+// Recover re-registers every session persisted under the member's WAL
+// root after a process restart — ALWAYS as a follower replica, even
+// for sessions this member used to lead: leadership is decided by
+// Reconcile's promotion rule (placement rank + who actually holds the
+// freshest data), never assumed from before the restart. Call it after
+// Start and before the first Reconcile.
+func (n *Node) Recover() error {
+	ents, err := os.ReadDir(n.cfg.Dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var first error
+	for _, e := range ents {
+		id, ok := strings.CutSuffix(e.Name(), ".cfg")
+		if !ok {
+			continue
+		}
+		cfg, err := n.readSessionConfig(id)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		if _, err := n.mgr.OpenReplica(id, cfg.serveConfig()); err != nil {
+			if first == nil {
+				first = fmt.Errorf("cluster: recover %q: %w", id, err)
+			}
+			continue
+		}
+		n.mu.Lock()
+		// The pre-restart primary is unknown (and possibly gone); the
+		// empty MemberID is never alive, so Reconcile treats the
+		// session as failed over and runs the promotion rule.
+		n.followers[id] = &followerState{cfg: cfg}
+		n.mu.Unlock()
+	}
+	return first
+}
+
+// CreateSession creates a replicated session led by this member. The
+// caller (the HTTP create handler, or a test) must have established via
+// placement that this member is the session's rendezvous primary.
+func (n *Node) CreateSession(id string, cfg SessionConfig) (*serve.Session, error) {
+	s, err := n.mgr.Create(id, cfg.serveConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := n.persistSessionConfig(id, cfg); err != nil {
+		n.mgr.Close(id)
+		return nil, err
+	}
+	n.mu.Lock()
+	n.primaries[id] = &primaryState{cfg: cfg, shippers: make(map[MemberID]*shipper)}
+	n.mu.Unlock()
+	n.syncShippers(id)
+	return s, nil
+}
+
+// syncShippers aligns a led session's shipper set with the current
+// rendezvous follower set.
+func (n *Node) syncShippers(id string) {
+	alive := n.ms.Alive()
+	owners := Owners(id, alive, n.cfg.Replicas+1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ps, ok := n.primaries[id]
+	if !ok {
+		return
+	}
+	want := make(map[MemberID]bool)
+	for _, m := range owners {
+		if m.ID != n.cfg.ID {
+			want[m.ID] = true
+		}
+	}
+	for fid := range ps.shippers {
+		if !want[fid] {
+			delete(ps.shippers, fid)
+		}
+	}
+	for fid := range want {
+		if _, ok := ps.shippers[fid]; !ok {
+			ps.shippers[fid] = newShipper(id, fid, ps.cfg)
+		}
+	}
+}
+
+// ShipAll runs one replication round for every led session: barrier the
+// session (publishing its WAL bytes), tail the log, and push unacked
+// batches to every follower. Unreachable followers keep their backlog
+// and catch up on a later round.
+func (n *Node) ShipAll() error {
+	n.mu.Lock()
+	ids := make([]string, 0, len(n.primaries))
+	for id := range n.primaries {
+		ids = append(ids, id)
+	}
+	n.mu.Unlock()
+	sort.Strings(ids)
+	var first error
+	for _, id := range ids {
+		if err := n.ShipSession(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShipSession runs one replication round for one led session,
+// returning the first shipping error (an unreachable follower is not an
+// error; its backlog just stays pending).
+func (n *Node) ShipSession(id string) error {
+	s, ok := n.mgr.Get(id)
+	if !ok {
+		return nil // being handed off or closed; nothing to ship
+	}
+	// Publish every accepted event's bytes to the log before tailing.
+	if err := s.Barrier(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	ps, ok := n.primaries[id]
+	if !ok {
+		n.mu.Unlock()
+		return nil
+	}
+	shs := make([]*shipper, 0, len(ps.shippers))
+	for _, sh := range ps.shippers {
+		shs = append(shs, sh)
+	}
+	n.mu.Unlock()
+	sort.Slice(shs, func(i, j int) bool { return shs[i].follower < shs[j].follower })
+
+	var first error
+	for _, sh := range shs {
+		if err := n.shipOne(sh); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// shipOne advances one follower until its backlog drains: pull new WAL
+// records, push bounded batches (maxShipEvents each), fold the acks
+// back in. It stops on an unreachable follower, on lack of progress,
+// or after at most one gap rewind — whatever is left stays pending for
+// the next round.
+func (n *Node) shipOne(sh *shipper) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	gapped := false
+	for {
+		if err := sh.pull(n.walDir(sh.session)); err != nil {
+			return err
+		}
+		req, ok := sh.batch(n.cfg.ID)
+		if !ok {
+			return nil // fully acked
+		}
+		addr, ok := n.addrOf(sh.follower)
+		if !ok {
+			return nil // follower not reachable through the table right now
+		}
+		var resp shipResp
+		if err := n.postJSON(addr, "/cluster/ship/"+sh.session, req, &resp); err != nil {
+			var he *httpError
+			if errors.As(err, &he) {
+				// The follower is reachable and refusing (poisoned
+				// replica, stale epoch): surface it — silence here would
+				// hide a permanently dead replication link.
+				return fmt.Errorf("cluster: ship %q to %s: %w", sh.session, sh.follower, err)
+			}
+			return nil // unreachable follower: backlog stays pending
+		}
+		prevAcked := sh.acked
+		sh.handleResp(resp)
+		if resp.Gap {
+			if gapped {
+				return nil // a second gap in one round: give up until later
+			}
+			gapped = true
+			continue
+		}
+		if sh.acked <= prevAcked && req.Snap == nil {
+			return nil // follower not advancing; avoid a hot loop
+		}
+	}
+}
+
+// AckedOffsets reports, for a led session, every follower's
+// acknowledged sequence number — the durability horizon a failover
+// preserves.
+func (n *Node) AckedOffsets(id string) map[MemberID]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ps, ok := n.primaries[id]
+	if !ok {
+		return nil
+	}
+	out := make(map[MemberID]int, len(ps.shippers))
+	for fid, sh := range ps.shippers {
+		sh.mu.Lock()
+		out[fid] = sh.acked
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// addrOf resolves a member's current address from the membership table.
+func (n *Node) addrOf(id MemberID) (string, bool) {
+	for _, m := range n.ms.Table() {
+		if m.ID == id {
+			return m.Addr, m.Addr != ""
+		}
+	}
+	return "", false
+}
+
+// httpError is a non-2xx response from a reachable peer — distinct
+// from a transport failure, which may heal on its own. Callers that
+// tolerate unreachable peers must still surface these: the peer
+// answered and said no.
+type httpError struct {
+	status int
+	detail string
+}
+
+func (e *httpError) Error() string { return e.detail }
+
+// postJSON posts a JSON body and decodes a JSON response. Non-2xx
+// responses come back as *httpError.
+func (n *Node) postJSON(addr, path string, body, out interface{}) error {
+	return n.postJSONWith(n.client, addr, path, body, out)
+}
+
+func (n *Node) postJSONWith(c *http.Client, addr, path string, body, out interface{}) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Post("http://"+addr+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return &httpError{status: resp.StatusCode, detail: fmt.Sprintf("cluster: POST %s%s: %s: %s", addr, path, resp.Status, e.Error)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Reconcile drives placement toward the membership table's current
+// truth: led sessions whose rendezvous primary moved are handed off,
+// replicas whose leader died are promoted, and shipper sets follow the
+// follower sets. One call performs one convergence step; the daemon
+// loop calls it every tick.
+func (n *Node) Reconcile() error {
+	alive := n.ms.Alive()
+
+	n.mu.Lock()
+	led := make([]string, 0, len(n.primaries))
+	for id := range n.primaries {
+		led = append(led, id)
+	}
+	followed := make([]string, 0, len(n.followers))
+	for id := range n.followers {
+		followed = append(followed, id)
+	}
+	n.mu.Unlock()
+	sort.Strings(led)
+	sort.Strings(followed)
+
+	var first error
+	for _, id := range led {
+		owners := Owners(id, alive, n.cfg.Replicas+1)
+		if len(owners) == 0 {
+			continue
+		}
+		if owners[0].ID == n.cfg.ID {
+			n.syncShippers(id)
+			continue
+		}
+		if err := n.handoff(id, owners[0]); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, id := range followed {
+		n.mu.Lock()
+		fs, ok := n.followers[id]
+		n.mu.Unlock()
+		if !ok {
+			continue
+		}
+		owners := Owners(id, alive, n.cfg.Replicas+1)
+		rank := -1 // self's position in the owner list
+		for i, m := range owners {
+			if m.ID == n.cfg.ID {
+				rank = i
+			}
+		}
+		primaryAlive := n.ms.IsAlive(fs.primary)
+		if rank < 0 {
+			// Rendezvous moved this replica elsewhere. Decommission it
+			// once the session is demonstrably healthy without us —
+			// its leader is alive, or the placement primary already
+			// serves it — so a stale orphan can never be promoted
+			// after a much later failure and roll the session back
+			// past acknowledged writes. While the session is unserved
+			// we keep the copy: it might be the last one.
+			healthy := primaryAlive
+			if !healthy && len(owners) > 0 {
+				healthy = n.hostsSession(owners[0].Addr, id)
+			}
+			if healthy {
+				n.mgr.CloseReplica(id)
+				os.Remove(n.cfgPath(id))
+				n.mu.Lock()
+				delete(n.followers, id)
+				n.mu.Unlock()
+			}
+			continue
+		}
+		if primaryAlive {
+			// Rebalance in progress (or steady state): a live leader
+			// hands off via /cluster/adopt; a unilateral grab here
+			// would fork the session.
+			continue
+		}
+		// The leader is dead and we are an owner holding a replica.
+		// Promote unless some other live owner already serves the
+		// session, or holds strictly fresher data, or holds equally
+		// fresh data at a better rank — the probe (/cluster/holds)
+		// makes the rule survive owners with no data at all (a member
+		// that joined mid-failover) and full-fleet restarts (everyone
+		// recovers as a follower; the freshest copy wins).
+		rep, ok := n.mgr.GetReplica(id)
+		if !ok {
+			continue
+		}
+		mySeq := rep.Seq()
+		eligible := true
+		for i, m := range owners {
+			if m.ID == n.cfg.ID {
+				continue
+			}
+			hasSession, hasReplica, seq := n.holds(m.Addr, id)
+			if hasSession || (hasReplica && (seq > mySeq || (seq == mySeq && i < rank))) {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		if err := n.promote(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// holds asks a peer whether it currently serves or replicates a
+// session, and at what replica offset (unreachable peers count as
+// holding nothing — in the crash-stop failure model an unreachable
+// member is a dead one).
+func (n *Node) holds(addr, id string) (session, replica bool, seq int) {
+	resp, err := n.client.Get("http://" + addr + "/cluster/holds/" + id)
+	if err != nil {
+		return false, false, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false, false, 0
+	}
+	var out struct {
+		Session bool `json:"session"`
+		Replica bool `json:"replica"`
+		Seq     int  `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, false, 0
+	}
+	return out.Session, out.Replica, out.Seq
+}
+
+// handoff moves a led session to its new rendezvous primary. Ordering
+// is what makes it lossless and fork-free: writes are frozen FIRST
+// (the session leaves the local registry, so late clients get
+// redirects and retry), THEN the final, closed log is shipped to
+// completion, and only a fully caught-up adoptee is asked to promote.
+// No sequence captured before the freeze can be stale, so no
+// acknowledged write is ever dropped by a rebalance.
+func (n *Node) handoff(id string, newPrimary Member) error {
+	n.mu.Lock()
+	ps, ok := n.primaries[id]
+	if !ok {
+		n.mu.Unlock()
+		return nil
+	}
+	sh, ok := ps.shippers[newPrimary.ID]
+	if !ok {
+		sh = newShipper(id, newPrimary.ID, ps.cfg)
+		ps.shippers[newPrimary.ID] = sh
+	}
+	cfg := ps.cfg
+	n.mu.Unlock()
+
+	// Freeze writes. Close flushes and fsyncs the WAL, making it the
+	// session's complete, final history.
+	if _, live := n.mgr.Get(id); live {
+		if err := n.mgr.Close(id); err != nil {
+			return err
+		}
+	}
+	// resume reopens the session locally when the handoff cannot
+	// complete this round — the session stays available under the old
+	// primary and a later Reconcile retries.
+	resume := func(err error) error {
+		if _, rerr := n.mgr.Open(id, cfg.serveConfig()); rerr != nil {
+			return fmt.Errorf("cluster: handoff of %q aborted (%v) and local reopen failed: %w", id, err, rerr)
+		}
+		return err
+	}
+
+	// Ship the closed log to completion.
+	if err := n.shipOne(sh); err != nil {
+		return resume(err)
+	}
+	sh.mu.Lock()
+	caughtUp := !sh.pending()
+	acked := sh.acked
+	sh.mu.Unlock()
+	if !caughtUp {
+		return resume(nil) // adoptee lagging or unreachable; retry later
+	}
+
+	adopt := adoptReq{Session: id, Config: cfg, From: n.cfg.ID}
+	var resp adoptResp
+	if err := n.postJSONWith(n.adoptClient, newPrimary.Addr, "/cluster/adopt/"+id, adopt, &resp); err != nil {
+		// The RPC failed — but the adoptee may still have promoted, or
+		// still be promoting. Resuming leadership then would fork the
+		// session, the one unacceptable outcome, so give any in-flight
+		// promotion a window to surface before deciding.
+		for i := 0; i < 5; i++ {
+			if n.hostsSession(newPrimary.Addr, id) {
+				return n.demote(id, cfg, newPrimary.ID)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		return resume(err)
+	}
+	var err error
+	if resp.Seq != acked {
+		// The adoptee accepted the handoff but recovered a different
+		// prefix than we shipped. It is authoritative now — resuming
+		// would fork — so demote anyway and surface the anomaly.
+		err = fmt.Errorf("cluster: handoff of %q: adoptee at seq %d, shipped-and-acked %d", id, resp.Seq, acked)
+	}
+	if derr := n.demote(id, cfg, newPrimary.ID); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// demote turns a led (already closed) session into a follower replica
+// over its own WAL, fed by the named primary from now on.
+func (n *Node) demote(id string, cfg SessionConfig, primary MemberID) error {
+	n.mu.Lock()
+	delete(n.primaries, id)
+	n.mu.Unlock()
+	if _, err := n.mgr.OpenReplica(id, cfg.serveConfig()); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.followers[id] = &followerState{cfg: cfg, primary: primary}
+	n.mu.Unlock()
+	return nil
+}
+
+// hostsSession probes whether the member at addr currently serves the
+// session as primary (a non-hosting member answers its /v1 path with a
+// 404 or a redirect, never 200).
+func (n *Node) hostsSession(addr, id string) bool {
+	resp, err := n.client.Get("http://" + addr + "/v1/sessions/" + id)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// promote turns a followed session into a led one through the existing
+// crash-recovery path, then begins shipping to the new follower set.
+// The session config comes from the follower state (populated by every
+// ship request and by handleAdopt), never defaulted — a promoted
+// primary must ship the exact backend shape it runs.
+func (n *Node) promote(id string) error {
+	n.mu.Lock()
+	fs, ok := n.followers[id]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: no follower state for %q", id)
+	}
+	if _, err := n.mgr.Promote(id); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	delete(n.followers, id)
+	n.primaries[id] = &primaryState{cfg: fs.cfg, shippers: make(map[MemberID]*shipper)}
+	n.mu.Unlock()
+	n.syncShippers(id)
+	return nil
+}
+
+// Run drives the member until done closes: every interval one gossip
+// tick, one replication round, and one reconcile step. Step errors are
+// reported on stderr rather than swallowed — a dead replication loop
+// must be visible to the operator.
+func (n *Node) Run(done <-chan struct{}, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			n.Tick()
+			if err := n.ShipAll(); err != nil {
+				fmt.Fprintf(os.Stderr, "cluster %s: ship: %v\n", n.cfg.ID, err)
+			}
+			if err := n.Reconcile(); err != nil {
+				fmt.Fprintf(os.Stderr, "cluster %s: reconcile: %v\n", n.cfg.ID, err)
+			}
+		}
+	}
+}

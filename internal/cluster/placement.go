@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvousScore is the highest-random-weight score of (member,
+// session): a stable 64-bit hash both sides of any exchange compute
+// identically. The FNV digest is passed through a splitmix64-style
+// finalizer — raw FNV is visibly biased on very short keys (single-byte
+// member IDs), and placement quality is exactly bit mixing.
+func rendezvousScore(id MemberID, session string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write([]byte(session))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Owners returns the rendezvous owners of a session among members: the
+// n highest-scoring members, primary first. The result is a pure
+// function of the member set and the session ID, so every member that
+// agrees on who is alive agrees on who owns what — no coordinator.
+// Removing a member disturbs only the sessions it owned; adding one
+// steals only the sessions it now out-scores everyone on.
+func Owners(session string, members []Member, n int) []Member {
+	type scored struct {
+		m Member
+		h uint64
+	}
+	ss := make([]scored, 0, len(members))
+	for _, m := range members {
+		ss = append(ss, scored{m, rendezvousScore(m.ID, session)})
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].h != ss[j].h {
+			return ss[i].h > ss[j].h
+		}
+		return ss[i].m.ID < ss[j].m.ID
+	})
+	if n > len(ss) {
+		n = len(ss)
+	}
+	out := make([]Member, 0, n)
+	for _, s := range ss[:n] {
+		out = append(out, s.m)
+	}
+	return out
+}

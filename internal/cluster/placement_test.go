@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func members(ids ...MemberID) []Member {
+	out := make([]Member, len(ids))
+	for i, id := range ids {
+		out[i] = Member{ID: id, Addr: string(id)}
+	}
+	return out
+}
+
+// TestOwnersDeterministicAndDistinct: owners are a pure function of the
+// member set, primary first, with no duplicates.
+func TestOwnersDeterministic(t *testing.T) {
+	ms := members("a", "b", "c", "d", "e")
+	for i := 0; i < 50; i++ {
+		session := fmt.Sprintf("s-%d", i)
+		o1 := Owners(session, ms, 3)
+		o2 := Owners(session, ms, 3)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("owners of %s not deterministic", session)
+		}
+		if len(o1) != 3 {
+			t.Fatalf("got %d owners, want 3", len(o1))
+		}
+		seen := map[MemberID]bool{}
+		for _, m := range o1 {
+			if seen[m.ID] {
+				t.Fatalf("duplicate owner %s for %s", m.ID, session)
+			}
+			seen[m.ID] = true
+		}
+	}
+	// Requesting more owners than members returns all of them.
+	if got := Owners("x", members("a", "b"), 5); len(got) != 2 {
+		t.Fatalf("got %d owners from 2 members", len(got))
+	}
+}
+
+// TestOwnersMinimalDisruption is the rendezvous property the rebalance
+// protocol leans on: removing a member changes the primary only of the
+// sessions it was primary for, and every other session's owner list
+// keeps its relative order.
+func TestOwnersMinimalDisruption(t *testing.T) {
+	all := members("a", "b", "c", "d", "e")
+	without := members("a", "b", "d", "e") // c removed
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		session := fmt.Sprintf("s-%d", i)
+		before := Owners(session, all, 1)[0]
+		after := Owners(session, without, 1)[0]
+		if before.ID == "c" {
+			moved++
+			continue
+		}
+		kept++
+		if after.ID != before.ID {
+			t.Fatalf("session %s moved from %s to %s though %s still lives",
+				session, before.ID, after.ID, before.ID)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: %d moved, %d kept", moved, kept)
+	}
+}
+
+// TestOwnersSpread: the hash spreads primaries across members (every
+// member leads some sessions out of 200 over 5 members).
+func TestOwnersSpread(t *testing.T) {
+	ms := members("a", "b", "c", "d", "e")
+	counts := map[MemberID]int{}
+	for i := 0; i < 200; i++ {
+		counts[Owners(fmt.Sprintf("s-%d", i), ms, 1)[0].ID]++
+	}
+	for _, m := range ms {
+		if counts[m.ID] == 0 {
+			t.Fatalf("member %s leads no sessions: %v", m.ID, counts)
+		}
+	}
+}

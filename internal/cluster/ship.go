@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+// SessionConfig is the JSON-serializable session shape shared by the
+// cluster create API and every ship request: followers must build the
+// same backend (strategies, sharding) the primary runs, and a config
+// that travels with the stream keeps them stateless across restarts.
+type SessionConfig struct {
+	Strategies     []string `json:"strategies,omitempty"`
+	Mailbox        int      `json:"mailbox,omitempty"`
+	SyncEvery      int      `json:"sync_every,omitempty"`
+	SegmentBytes   int      `json:"segment_bytes,omitempty"`
+	ExpectedNodes  int      `json:"expected_nodes,omitempty"`
+	ShardThreshold int      `json:"shard_threshold,omitempty"`
+	GridX          int      `json:"grid_x,omitempty"`
+	GridY          int      `json:"grid_y,omitempty"`
+	ArenaW         float64  `json:"arena_w,omitempty"`
+	ArenaH         float64  `json:"arena_h,omitempty"`
+}
+
+// serveConfig materializes the serve.Config for this session. Cluster
+// sessions never compact: the WAL must stay an append-only record
+// stream for the shippers tailing it (sealed segments are still
+// retired only by compaction, which a cluster session never runs).
+func (c SessionConfig) serveConfig() serve.Config {
+	return serve.Config{
+		Strategies:     c.Strategies,
+		Mailbox:        c.Mailbox,
+		CompactEvery:   -1,
+		SyncEvery:      c.SyncEvery,
+		SegmentBytes:   c.SegmentBytes,
+		ExpectedNodes:  c.ExpectedNodes,
+		ShardThreshold: c.ShardThreshold,
+		Shard:          shard.Config{GridX: c.GridX, GridY: c.GridY, ArenaW: c.ArenaW, ArenaH: c.ArenaH},
+	}
+}
+
+// shipReq is one replication batch: the session's config (so a follower
+// can build or reopen its replica cold), the optional bootstrap
+// snapshot (present until the follower first acks), and events starting
+// at sequence From. Primary names the sender so followers know whom
+// they are following.
+type shipReq struct {
+	Session string              `json:"session"`
+	Primary MemberID            `json:"primary"`
+	Config  SessionConfig       `json:"config"`
+	Snap    *trace.Snapshot     `json:"snap,omitempty"`
+	From    int                 `json:"from"`
+	Events  []trace.EventRecord `json:"events"`
+}
+
+// shipResp acknowledges a batch: Acked is the follower's durable
+// sequence number; Gap asks the shipper to rewind to the start of the
+// log because the batch left a hole.
+type shipResp struct {
+	Acked int  `json:"acked"`
+	Gap   bool `json:"gap,omitempty"`
+}
+
+// shipper replicates one session to one follower: it tails the
+// primary's segmented WAL with offset reads, buffers records until the
+// follower acknowledges them, and tracks the follower's acked offset.
+// A shipper's methods are serialized by its mutex; the node's ship loop
+// is the only steady-state caller.
+type shipper struct {
+	mu       sync.Mutex
+	session  string
+	follower MemberID
+	cfg      SessionConfig
+
+	pos     serve.WALPos        // WAL read position
+	nextSeq int                 // sequence the next event record read will carry
+	snap    *trace.Snapshot     // pending bootstrap snapshot (until first ack)
+	buf     []trace.EventRecord // read but not yet acked
+	bufFrom int                 // sequence of buf[0]
+	acked   int                 // follower's last acknowledged sequence
+}
+
+func newShipper(session string, follower MemberID, cfg SessionConfig) *shipper {
+	return &shipper{session: session, follower: follower, cfg: cfg}
+}
+
+// reset rewinds to the start of the log (fresh follower, or a gap
+// NACK): everything will be re-read and re-offered; the follower
+// deduplicates by sequence number.
+func (sh *shipper) reset() {
+	sh.pos = serve.WALPos{}
+	sh.nextSeq = 0
+	sh.snap = nil
+	sh.buf = nil
+	sh.bufFrom = 0
+}
+
+// pull reads newly committed records from the primary's WAL into the
+// unacked buffer.
+func (sh *shipper) pull(walDir string) error {
+	recs, pos, err := serve.TailWAL(walDir, sh.pos)
+	if errors.Is(err, serve.ErrWALGap) {
+		sh.reset()
+		return nil // next pull restarts from the oldest segment
+	}
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if r.Snap != nil {
+			// The log's bootstrap snapshot (cluster sessions never
+			// compact, so it can only appear at the very start of a
+			// read-from-zero).
+			sh.snap = r.Snap
+			sh.nextSeq = r.Snap.Seq + 1
+			sh.buf = nil
+			sh.bufFrom = r.Snap.Seq + 1
+			continue
+		}
+		ej, err := trace.EncodeEvent(*r.Ev)
+		if err != nil {
+			return err
+		}
+		if len(sh.buf) == 0 {
+			sh.bufFrom = sh.nextSeq
+		}
+		sh.buf = append(sh.buf, ej)
+		sh.nextSeq++
+	}
+	sh.pos = pos
+	return nil
+}
+
+// pending reports whether the shipper holds records the follower has
+// not acknowledged.
+func (sh *shipper) pending() bool {
+	return sh.snap != nil || len(sh.buf) > 0
+}
+
+// maxShipEvents caps one ship request's event count: a follower far
+// behind (or freshly bootstrapped) catches up over several bounded
+// requests instead of one body holding the entire backlog.
+const maxShipEvents = 512
+
+// batch builds the next ship request, or false when there is nothing to
+// send.
+func (sh *shipper) batch(primary MemberID) (shipReq, bool) {
+	if !sh.pending() {
+		return shipReq{}, false
+	}
+	evs := sh.buf
+	if len(evs) > maxShipEvents {
+		evs = evs[:maxShipEvents]
+	}
+	return shipReq{
+		Session: sh.session,
+		Primary: primary,
+		Config:  sh.cfg,
+		Snap:    sh.snap,
+		From:    sh.bufFrom,
+		Events:  evs,
+	}, true
+}
+
+// handleResp folds a follower's acknowledgment into the buffer: acked
+// records are dropped, a gap rewinds to the start of the log.
+func (sh *shipper) handleResp(resp shipResp) {
+	if resp.Gap {
+		sh.reset()
+		return
+	}
+	sh.acked = resp.Acked
+	sh.snap = nil // an ack means the bootstrap snapshot landed
+	if drop := resp.Acked - (sh.bufFrom - 1); drop > 0 {
+		if drop >= len(sh.buf) {
+			sh.buf = nil
+		} else {
+			sh.buf = sh.buf[drop:]
+		}
+		sh.bufFrom = resp.Acked + 1
+	}
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestFailoverSoak kills the primary at a random event while a client
+// keeps writing over real HTTP, with shipping and gossip interleaved at
+// random cadence. After promotion the client re-resolves the route,
+// reads the promoted sequence number, and resumes from it; the finished
+// run must be bit-identical to an uncrashed single-process run of the
+// full script.
+func TestFailoverSoak(t *testing.T) {
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := xrand.New(100 + uint64(trial)*17)
+			h := newHarness(t, 3, 2)
+			script := testScript(200+uint64(trial), 30, 110)
+			session := fmt.Sprintf("soak-%d", trial)
+			ri := h.createSession(session, SessionConfig{Strategies: clusterNames, SyncEvery: 1, SegmentBytes: 2048})
+
+			killAt := 20 + rng.Intn(len(script)-40)
+			applied := 0
+			for applied < killAt {
+				chunk := 1 + rng.Intn(7)
+				if applied+chunk > killAt {
+					chunk = killAt - applied
+				}
+				h.applyEvents(session, script[applied:applied+chunk])
+				applied += chunk
+				// Random background cadence: sometimes ship, sometimes
+				// gossip+reconcile, sometimes nothing.
+				if rng.Float64() < 0.6 {
+					h.shipAll()
+				}
+				if rng.Float64() < 0.3 {
+					h.tickAll(1)
+					h.reconcileAll()
+				}
+			}
+
+			h.crash(ri.Primary.ID)
+			h.tickAll(4)
+			h.reconcileAll()
+
+			pn := h.nodeHosting(session)
+			if pn.ID() == ri.Primary.ID {
+				t.Fatal("crashed primary still leads")
+			}
+			// The promoted seq is whatever was acked when the primary
+			// died; the client resumes from there.
+			seq := h.seqOf(session)
+			if seq > applied {
+				t.Fatalf("promoted seq %d beyond applied %d", seq, applied)
+			}
+			if r := h.route(session); r.Primary.ID != pn.ID() {
+				t.Fatalf("route %s != host %s", r.Primary.ID, pn.ID())
+			}
+			h.applyEvents(session, script[seq:])
+			h.shipAll()
+			s, _ := pn.Manager().Get(session)
+			assertSessionEquals(t, "soak-final", s, refSession(t, script), len(script))
+		})
+	}
+}

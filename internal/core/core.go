@@ -55,6 +55,14 @@ type Recoder struct {
 	// recoder runs its matchings sequentially, so the dense matrices are
 	// allocated once per recoder instead of once per event.
 	scratch *matching.Scratch
+	// colorCount and maxColor form the incremental max-color
+	// accumulator: every assignment mutation flows through setColor, so
+	// outcome() reads the current maximum in O(1) instead of rescanning
+	// the whole assignment after each event. External writers (the shard
+	// coordinator's writeback, the batch scheduler's wave commit) must
+	// use SetColor, never the raw map.
+	colorCount map[toca.Color]int
+	maxColor   toca.Color
 }
 
 var _ strategy.Strategy = (*Recoder)(nil)
@@ -68,7 +76,17 @@ func New() *Recoder {
 // NewFrom returns a Minim recoder adopting an existing network and
 // assignment (both are used directly, not copied).
 func NewFrom(net *adhoc.Network, assign toca.Assignment) *Recoder {
-	return &Recoder{net: net, assign: assign, scratch: matching.NewScratch()}
+	r := &Recoder{net: net, assign: assign, scratch: matching.NewScratch(),
+		colorCount: make(map[toca.Color]int, len(assign))}
+	for _, c := range assign {
+		if c != toca.None {
+			r.colorCount[c]++
+			if c > r.maxColor {
+				r.maxColor = c
+			}
+		}
+	}
+	return r
 }
 
 // NewShared returns a Minim recoder reading an engine-owned network. It
@@ -90,8 +108,45 @@ func (r *Recoder) Shared() bool { return r.shared }
 // Network implements strategy.Strategy.
 func (r *Recoder) Network() *adhoc.Network { return r.net }
 
-// Assignment implements strategy.Strategy.
+// Assignment implements strategy.Strategy. Callers must treat the map
+// as read-only; external writes go through SetColor so the incremental
+// max-color accumulator stays consistent.
 func (r *Recoder) Assignment() toca.Assignment { return r.assign }
+
+// SetColor installs a color computed outside the recoder (the shard
+// coordinator's writeback, the batch scheduler's wave commits);
+// toca.None removes the entry. It keeps the max-color accumulator in
+// sync with the mutation.
+func (r *Recoder) SetColor(id graph.NodeID, c toca.Color) { r.setColor(id, c) }
+
+// setColor is the single assignment write path: it updates the map and
+// the color-count/max-color accumulator together.
+func (r *Recoder) setColor(id graph.NodeID, c toca.Color) {
+	old := r.assign[id]
+	if old == c {
+		return
+	}
+	if old != toca.None {
+		if n := r.colorCount[old] - 1; n > 0 {
+			r.colorCount[old] = n
+		} else {
+			delete(r.colorCount, old)
+			if old == r.maxColor {
+				for r.maxColor > toca.None && r.colorCount[r.maxColor] == 0 {
+					r.maxColor--
+				}
+			}
+		}
+	}
+	r.assign.Set(id, c)
+	if c == toca.None {
+		return
+	}
+	r.colorCount[c]++
+	if c > r.maxColor {
+		r.maxColor = c
+	}
+}
 
 // Apply implements strategy.Strategy: decode the event on the recoder's
 // own network (via the shared engine decoder), then run the recoding.
@@ -123,7 +178,7 @@ func (r *Recoder) OnDelta(d engine.Delta) (strategy.Outcome, error) {
 	case strategy.Leave:
 		// RecodeDecreasePowOrLeave: nobody is recoded (Theorem 4.3.3:
 		// removals introduce no conflicts).
-		delete(r.assign, d.Event.ID)
+		r.setColor(d.Event.ID, toca.None)
 		return r.outcome(nil), nil
 	case strategy.PowerChange:
 		if !d.Increase {
@@ -141,7 +196,7 @@ func (r *Recoder) OnDelta(d engine.Delta) (strategy.Outcome, error) {
 			return r.outcome(nil), nil
 		}
 		c := forb.LowestFree()
-		r.assign[id] = c
+		r.setColor(id, c)
 		return r.outcome(map[graph.NodeID]toca.Color{id: c}), nil
 	default:
 		return strategy.Outcome{}, fmt.Errorf("core: unknown event kind %v", d.Event.Kind)
@@ -193,7 +248,7 @@ func (r *Recoder) recodeLocal(n graph.NodeID, inOrBoth []graph.NodeID) map[graph
 		if r.assign[u] != c {
 			recoded[u] = c
 		}
-		r.assign[u] = c
+		r.setColor(u, c)
 	}
 	return recoded
 }
@@ -286,7 +341,7 @@ func (r *Recoder) SetRange(id graph.NodeID, newRange float64) (strategy.Outcome,
 }
 
 func (r *Recoder) outcome(recoded map[graph.NodeID]toca.Color) strategy.Outcome {
-	return strategy.Outcome{Recoded: recoded, MaxColor: r.assign.MaxColor()}
+	return strategy.Outcome{Recoded: recoded, MaxColor: r.maxColor}
 }
 
 // MinimalJoinBound returns the paper's Lemma 4.1.1 lower bound on the

@@ -97,6 +97,12 @@ func (s *Strategy) Network() *adhoc.Network { return s.net }
 // Assignment implements strategy.Strategy.
 func (s *Strategy) Assignment() toca.Assignment { return s.assign }
 
+// SetColor installs an externally computed color (toca.None removes the
+// entry). It is the write path the shard coordinator uses so hosted
+// strategies can keep internal accounting consistent with external
+// assignment mutations.
+func (s *Strategy) SetColor(id graph.NodeID, c toca.Color) { s.assign.Set(id, c) }
+
 // Apply implements strategy.Strategy: decode the event on the
 // strategy's own network (via the shared engine decoder), then run the
 // CP re-selection. Shared instances are driven by their engine and

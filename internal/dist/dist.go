@@ -16,8 +16,13 @@
 //     join exchanges tracks the joiner's neighborhood size (node
 //     density), not the network size N — the protocols are local.
 //
-// Only joins are distributed here; the other events follow the same
-// pattern and are a follow-on (see ROADMAP.md).
+// All four reconfiguration events run as protocols: joins and moves
+// coordinate the full gather/solve/assign (or token-pass) exchange,
+// power increases run the node-coordinated re-selection, and leaves and
+// power decreases are message-free by the removal theorems. Every
+// protocol converges to exact sequential parity under the engine's
+// fault injection (lossy links with retransmission, at-least-once
+// duplication with receiver-side dedup, and their composition).
 package dist
 
 import (
@@ -26,7 +31,9 @@ import (
 
 	"repro/internal/adhoc"
 	"repro/internal/core"
+	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/strategy"
 	"repro/internal/toca"
 	"repro/internal/xrand"
 )
@@ -236,6 +243,183 @@ func (rt *Runtime) StartJoin(id graph.NodeID, cfg adhoc.Config, proto string) er
 		return fmt.Errorf("dist: unknown protocol %q", proto)
 	}
 	return nil
+}
+
+// StartLeave performs the physical leave of a node. No protocol runs:
+// removals never create conflicts (Theorem 4.3.3; the CP baseline
+// agrees), so neighbors merely observe the departure and zero messages
+// are exchanged.
+func (rt *Runtime) StartLeave(id graph.NodeID) error {
+	if !rt.Net.Has(id) {
+		return fmt.Errorf("dist: node %d not in network", id)
+	}
+	if err := rt.Net.Leave(id); err != nil {
+		return err
+	}
+	delete(rt.nodes, id)
+	return nil
+}
+
+// StartMove performs the physical move of a node and enqueues the
+// distributed recoding protocol for it. Both protocols treat movement
+// as a join at the new position in which the mover keeps its old color
+// as a candidate (Theorem 4.4.1 for Minim; the charitable CP reading of
+// the paper's Fig 9): the mover coordinates the same message exchange a
+// joiner would, its old color riding along as a weight-3 edge (minim)
+// or a re-selectable current color (cp). Drive the engine afterwards.
+func (rt *Runtime) StartMove(id graph.NodeID, pos geom.Point, proto string) error {
+	cfg, ok := rt.Net.Config(id)
+	if !ok {
+		return fmt.Errorf("dist: node %d not in network", id)
+	}
+	if proto != "minim" && proto != "cp" {
+		return fmt.Errorf("dist: unknown protocol %q", proto)
+	}
+	dst := cfg
+	dst.Pos = pos
+	part := rt.Net.LocalPartitionFor(id, dst)
+	if err := rt.Net.Move(id, pos); err != nil {
+		return err
+	}
+	if proto == "minim" {
+		rt.startMinimJoin(rt.nodes[id], part)
+	} else {
+		rt.startCPJoin(rt.nodes[id], part)
+	}
+	return nil
+}
+
+// StartPower performs the physical range change of a node and enqueues
+// the distributed recoding protocol for it. Decreases only remove
+// constraints — nobody recodes and no messages flow. For an increase,
+// every new constraint involves the node itself (section 4.2), so the
+// node coordinates: minim re-selects only its own color if now
+// conflicted (RecodeOnPowIncrease, Fig 5); cp discovers which
+// new-constraint peers hold its color and token-passes over that group
+// plus itself. Drive the engine afterwards.
+func (rt *Runtime) StartPower(id graph.NodeID, newRange float64, proto string) error {
+	cfg, ok := rt.Net.Config(id)
+	if !ok {
+		return fmt.Errorf("dist: node %d not in network", id)
+	}
+	if proto != "minim" && proto != "cp" {
+		return fmt.Errorf("dist: unknown protocol %q", proto)
+	}
+	increase := newRange > cfg.Range
+	var before map[graph.NodeID]struct{}
+	if increase && proto == "cp" {
+		// Only cp needs the pre-increase neighborhood (its group is the
+		// set difference); minim consults the full post-increase set.
+		before = rt.Net.ConflictNeighbors(id)
+	}
+	if err := rt.Net.SetRange(id, newRange); err != nil {
+		return err
+	}
+	if !increase {
+		return nil
+	}
+	if proto == "minim" {
+		rt.startMinimPower(rt.nodes[id])
+	} else {
+		rt.startCPPower(rt.nodes[id], before, rt.Net.ConflictNeighbors(id))
+	}
+	return nil
+}
+
+// Start dispatches one reconfiguration event to the matching protocol
+// run — the script-level entry the parity tests drive mixed workloads
+// through.
+func (rt *Runtime) Start(ev strategy.Event, proto string) error {
+	switch ev.Kind {
+	case strategy.Join:
+		return rt.StartJoin(ev.ID, ev.Cfg, proto)
+	case strategy.Leave:
+		return rt.StartLeave(ev.ID)
+	case strategy.Move:
+		return rt.StartMove(ev.ID, ev.Pos, proto)
+	case strategy.PowerChange:
+		return rt.StartPower(ev.ID, ev.R, proto)
+	default:
+		return fmt.Errorf("dist: unknown event kind %v", ev.Kind)
+	}
+}
+
+// startMinimPower runs the node's side of RecodeOnPowIncrease: query
+// every conflict neighbor for its color, and re-select the lowest free
+// color only if the current one is now forbidden — the exact decision
+// rule of the sequential Fig 5 procedure, fed by messages.
+func (rt *Runtime) startMinimPower(node *Node) {
+	peers := rt.conflictOutside(node.id, nil)
+	forb := toca.NewColorSet()
+	decide := func() {
+		if node.color != toca.None && !forb.Has(node.color) {
+			return // still valid: minim recodes nobody
+		}
+		node.color = forb.LowestFree()
+	}
+	replies := len(peers)
+	if replies == 0 {
+		decide()
+		return
+	}
+	for _, v := range peers {
+		v := v
+		rt.Engine.send(message{From: node.id, To: v, Kind: "color?", handler: func() {
+			c := rt.nodes[v].color
+			rt.Engine.send(message{From: v, To: node.id, Kind: "color!", handler: func() {
+				forb.Add(c)
+				replies--
+				if replies == 0 {
+					decide()
+				}
+			}})
+		}})
+	}
+}
+
+// startCPPower runs the CP power-increase extension: the node queries
+// each peer it gained a constraint against; those holding its color
+// form the re-selection group, which token-passes (highest identity
+// first) together with the node itself, exactly as cp.reselect orders
+// the sequential run.
+func (rt *Runtime) startCPPower(node *Node, before, after map[graph.NodeID]struct{}) {
+	var peers []graph.NodeID
+	for v := range after {
+		if _, old := before[v]; !old {
+			peers = append(peers, v)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	if len(peers) == 0 {
+		return
+	}
+	myColor := node.color
+	var group []graph.NodeID
+	replies := len(peers)
+	finish := func() {
+		if len(group) == 0 {
+			return // no conflicts: even the node keeps its color
+		}
+		st := &cpJoin{rt: rt, joiner: node}
+		st.order = append(group, node.id)
+		sort.Slice(st.order, func(i, j int) bool { return st.order[i] > st.order[j] })
+		st.advance()
+	}
+	for _, v := range peers {
+		v := v
+		rt.Engine.send(message{From: node.id, To: v, Kind: "color?", handler: func() {
+			c := rt.nodes[v].color
+			rt.Engine.send(message{From: v, To: node.id, Kind: "color!", handler: func() {
+				if myColor != toca.None && c == myColor {
+					group = append(group, v)
+				}
+				replies--
+				if replies == 0 {
+					finish()
+				}
+			}})
+		}})
+	}
 }
 
 // conflictOutside returns u's CA1/CA2 conflict neighbors not in excl,

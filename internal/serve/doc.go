@@ -42,17 +42,24 @@
 //
 // # WAL format and recovery
 //
-// The WAL is one file per session: newline-delimited JSON in the
-// internal/trace record encoding. Line 1 is a versioned snapshot record
-// (topology + per-strategy assignments and metrics at a log position);
-// every further line is one event record. A record is committed iff its
-// line is newline-terminated and parses — a torn final line is
-// truncated on open, a malformed committed line is corruption and fails
-// loudly. Appends are group-committed (flushed when the mailbox
-// drains; Config.SyncEvery forces per-N-event fsync), and every
-// Config.CompactEvery events the writer captures a fresh snapshot and
-// atomically rewrites the file to a single snapshot line (write temp,
-// fsync, rename).
+// The WAL is one directory per session holding numbered segment files
+// of newline-delimited JSON in the internal/trace record encoding. The
+// log's first record is a versioned snapshot (topology + per-strategy
+// assignments and metrics at a log position); every further record is
+// one event. A record is committed iff its line is newline-terminated
+// and parses — a torn final line in the active segment is truncated on
+// open, a malformed committed line (or a torn line in a sealed segment)
+// is corruption and fails loudly. Appends are group-committed (flushed
+// when the mailbox drains; Config.SyncEvery forces per-N-event fsync,
+// counted across segment boundaries), and Config.SegmentBytes seals the
+// active segment — flush, fsync, close — once it reaches that size,
+// starting the next-numbered file. Sealed segments are immutable, which
+// is what lets WAL shipping (internal/cluster) tail a live log with
+// plain offset reads (TailWAL). Every Config.CompactEvery events the
+// writer captures a fresh snapshot into the next-numbered segment,
+// publishes it by atomic rename, and deletes the sealed segments it
+// supersedes; a crash anywhere in between leaves a directory whose
+// newest snapshot wins on open.
 //
 // Recovery (Manager.Open) restores the snapshot directly — the network
 // is rebuilt from its configurations, which determine the interference
@@ -64,9 +71,28 @@
 // recover by replaying the whole log through a fresh coordinator, the
 // shard.Replay contract.
 //
+// # Replicas: the follower half of the cluster story
+//
+// A Replica (Manager.NewReplica / Manager.OpenReplica) is a session's
+// continuously recovering standby on another process: it has no writer
+// mailbox — Offer appends shipped records to the replica's own local
+// WAL, applies them through the same recoding path for a warm,
+// lock-free-readable state, fsyncs, and only then acknowledges the new
+// offset, so an acked offset is a durability promise. Offer
+// deduplicates shipper retries by sequence number and rejects gaps with
+// ErrReplicaGap. Manager.Promote turns a replica into a live primary by
+// running the existing crash-recovery path over the replica's WAL: the
+// promoted session is bit-identical to the old primary at the
+// acknowledged offset (events beyond it — the primary's unacked tail
+// and mailbox residue — are lost, exactly as a single-process crash
+// loses its unflushed tail). Placement, shipping, and failover
+// orchestration live in internal/cluster.
+//
 // # Front ends
 //
-// cmd/cdmaserved exposes the manager over HTTP/JSON (NewHandler);
+// cmd/cdmaserved exposes the manager over HTTP/JSON (NewHandler) and,
+// with -cluster, joins a fleet of such processes (internal/cluster);
 // cmd/cdmasim -serve-sessions runs a load-generator mode driving many
-// concurrent sessions with IPPP hot-spot traffic.
+// concurrent sessions with IPPP hot-spot traffic, and -cluster-smoke
+// runs an in-process cluster that keeps writing through a failover.
 package serve

@@ -68,6 +68,7 @@ type createReq struct {
 	Mailbox       int      `json:"mailbox,omitempty"`
 	CompactEvery  int      `json:"compact_every,omitempty"`
 	SyncEvery     int      `json:"sync_every,omitempty"`
+	SegmentBytes  int      `json:"segment_bytes,omitempty"`
 	ExpectedNodes int      `json:"expected_nodes,omitempty"`
 	// A grid larger than 1x1 requests the sharded backend over an
 	// ArenaW x ArenaH arena split into GridX x GridY regions.
@@ -90,6 +91,7 @@ func createSession(m *Manager, w http.ResponseWriter, r *http.Request) {
 		Mailbox:       req.Mailbox,
 		CompactEvery:  req.CompactEvery,
 		SyncEvery:     req.SyncEvery,
+		SegmentBytes:  req.SegmentBytes,
 		ExpectedNodes: req.ExpectedNodes,
 	}
 	if req.GridX > 1 || req.GridY > 1 {

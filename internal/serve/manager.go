@@ -19,12 +19,13 @@ type Manager struct {
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
+	replicas map[string]*Replica
 }
 
 // NewManager returns a manager whose sessions persist their WALs under
 // dir ("" disables durability). The directory is created on first use.
 func NewManager(dir string) *Manager {
-	return &Manager{dir: dir, sessions: make(map[string]*Session)}
+	return &Manager{dir: dir, sessions: make(map[string]*Session), replicas: make(map[string]*Replica)}
 }
 
 // ErrSessionExists rejects creating a session whose ID is taken.
@@ -47,12 +48,28 @@ func validID(id string) error {
 	return nil
 }
 
+// walPath resolves a session's WAL location and makes sure the root
+// exists; "" (with no error) means durability is disabled.
 func (m *Manager) walPath(id string) (string, error) {
 	if m.dir == "" {
 		return "", nil
 	}
 	if err := os.MkdirAll(m.dir, 0o755); err != nil {
 		return "", err
+	}
+	return m.WALDir(id)
+}
+
+// WALDir returns the directory a session's (or replica's) segmented
+// WAL lives in, without creating anything. It is the single source of
+// the manager's on-disk layout and the path WAL shipping tails
+// (TailWAL).
+func (m *Manager) WALDir(id string) (string, error) {
+	if err := validID(id); err != nil {
+		return "", err
+	}
+	if m.dir == "" {
+		return "", errors.New("serve: manager has no WAL directory")
 	}
 	return filepath.Join(m.dir, id+".wal"), nil
 }
@@ -67,6 +84,9 @@ func (m *Manager) Create(id string, cfg Config) (*Session, error) {
 	defer m.mu.Unlock()
 	if _, ok := m.sessions[id]; ok {
 		return nil, ErrSessionExists
+	}
+	if _, ok := m.replicas[id]; ok {
+		return nil, ErrReplicaExists
 	}
 	path, err := m.walPath(id)
 	if err != nil {
@@ -96,6 +116,9 @@ func (m *Manager) Open(id string, cfg Config) (*Session, error) {
 	defer m.mu.Unlock()
 	if _, ok := m.sessions[id]; ok {
 		return nil, ErrSessionExists
+	}
+	if _, ok := m.replicas[id]; ok {
+		return nil, ErrReplicaExists
 	}
 	path, err := m.walPath(id)
 	if err != nil {
@@ -142,14 +165,19 @@ func (m *Manager) Close(id string) error {
 	return s.Close()
 }
 
-// CloseAll stops every session, returning the first error.
+// CloseAll stops every session and replica, returning the first error.
 func (m *Manager) CloseAll() error {
 	m.mu.Lock()
 	ss := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
 		ss = append(ss, s)
 	}
+	rs := make([]*Replica, 0, len(m.replicas))
+	for _, r := range m.replicas {
+		rs = append(rs, r)
+	}
 	m.sessions = make(map[string]*Session)
+	m.replicas = make(map[string]*Replica)
 	m.mu.Unlock()
 	var first error
 	for _, s := range ss {
@@ -157,5 +185,35 @@ func (m *Manager) CloseAll() error {
 			first = err
 		}
 	}
+	for _, r := range rs {
+		if err := r.close(false); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
+}
+
+// Abort simulates a process crash: every session and replica stops
+// where it is and its WAL keeps only what earlier group commits (and
+// acked replica fsyncs) pushed to the OS — no final flush, snapshot, or
+// fsync. The failover tests kill primaries with it.
+func (m *Manager) Abort() {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	rs := make([]*Replica, 0, len(m.replicas))
+	for _, r := range m.replicas {
+		rs = append(rs, r)
+	}
+	m.sessions = make(map[string]*Session)
+	m.replicas = make(map[string]*Replica)
+	m.mu.Unlock()
+	for _, s := range ss {
+		s.abortForTest()
+	}
+	for _, r := range rs {
+		r.close(true)
+	}
 }

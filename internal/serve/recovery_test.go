@@ -84,8 +84,9 @@ func TestCrashRecoveryAtRandomEvent(t *testing.T) {
 		dir := t.TempDir()
 		walPath := filepath.Join(dir, "crash.wal")
 		// CompactEvery 32 so most trials cross at least one compaction;
-		// SyncEvery 1 emulates per-event group commit reaching the OS.
-		cfg := Config{Strategies: allNames, CompactEvery: 32, SyncEvery: 1}
+		// SyncEvery 1 emulates per-event group commit reaching the OS;
+		// a tiny SegmentBytes forces the log across many segment files.
+		cfg := Config{Strategies: allNames, CompactEvery: 32, SyncEvery: 1, SegmentBytes: 512}
 		s, err := newSession("crash", cfg, walPath)
 		if err != nil {
 			t.Fatal(err)
@@ -194,7 +195,11 @@ func TestRecoveryTornTail(t *testing.T) {
 	if err := s.abortForTest(); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	segPath, err := lastSegmentPath(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(segPath, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,8 +39,14 @@ type Config struct {
 	// replay instead.
 	CompactEvery int
 	// SyncEvery forces a WAL flush+fsync every N events (default 0: group
-	// commit at mailbox drains, fsync on compaction and close).
+	// commit at mailbox drains, fsync on compaction and close). The
+	// counter runs across segment boundaries.
 	SyncEvery int
+	// SegmentBytes seals the active WAL segment and starts the next one
+	// once it reaches this many bytes (default 0: one unbounded
+	// segment). Sealed segments are immutable, which gives WAL shipping
+	// its batch units and lets compaction retire whole files.
+	SegmentBytes int
 	// WatchBuffer is the per-subscriber delta buffer (default 64). A
 	// subscriber that falls further behind is disconnected (its channel
 	// closes) and must re-snapshot and re-subscribe.
@@ -222,6 +228,7 @@ func newSession(id string, cfg Config, walPath string) (*Session, error) {
 			return nil, err
 		}
 		s.wal.syncEvery = cfg.SyncEvery
+		s.wal.segmentBytes = int64(cfg.SegmentBytes)
 	}
 	s.view.Store(newView(cfg.Strategies))
 	go s.run()
@@ -233,12 +240,25 @@ func newSession(id string, cfg Config, walPath string) (*Session, error) {
 // tail is re-applied through the normal recoding path (without
 // re-logging). The result is bit-identical to the pre-crash state.
 func restoreSession(id string, cfg Config, walPath string) (*Session, error) {
+	s, err := buildSession(id, cfg, walPath)
+	if err != nil {
+		return nil, err
+	}
+	go s.run()
+	return s, nil
+}
+
+// buildSession is restoreSession without the writer goroutine: the
+// shared recovery core that both a restored session and a follower
+// replica (which applies shipped records with no mailbox) start from.
+func buildSession(id string, cfg Config, walPath string) (*Session, error) {
 	cfg = cfg.withDefaults()
 	snap, tailEvents, w, err := openWAL(walPath)
 	if err != nil {
 		return nil, err
 	}
 	w.syncEvery = cfg.SyncEvery
+	w.segmentBytes = int64(cfg.SegmentBytes)
 	fail := func(err error) (*Session, error) {
 		w.abort()
 		return nil, err
@@ -317,7 +337,6 @@ func restoreSession(id string, cfg Config, walPath string) (*Session, error) {
 			}
 		}
 	}
-	go s.run()
 	return s, nil
 }
 
@@ -418,6 +437,18 @@ func (s *Session) shutdown(kind reqKind) error {
 	return err
 }
 
+// InspectState runs fn on the writer goroutine against quiesced state:
+// the backend's authoritative network plus, aligned with Strategies(),
+// the live assignments and cumulative metrics. It is the exported
+// inspection hook differential tests outside this package (the cluster
+// failover suite) verify bit-identity with; fn must not retain or
+// mutate what it is handed.
+func (s *Session) InspectState(fn func(net *adhoc.Network, assigns []toca.Assignment, metrics []*strategy.Metrics)) error {
+	return s.inspect(func(*inspectState) {
+		fn(s.stateNetwork(), s.stateAssignments(), s.metrics)
+	})
+}
+
 // inspect runs fn on the writer goroutine against quiesced state.
 func (s *Session) inspect(fn func(*inspectState)) error {
 	res := make(chan error, 1)
@@ -476,6 +507,14 @@ func (s *Session) run() {
 			err := s.err
 			if err == nil && s.coord != nil && s.pending > 0 {
 				err = s.syncShardView()
+			}
+			if err == nil && s.wal != nil {
+				// A barrier also publishes every accepted event to the
+				// OS: WAL tailers (replication shippers) see the full
+				// prefix once Barrier returns.
+				if err = s.wal.flush(); err != nil {
+					s.poison(err)
+				}
 			}
 			if err == nil && req.fn != nil {
 				req.fn(&inspectState{eng: s.eng, coord: s.coord, hosted: s.hosted, metrics: s.metrics})

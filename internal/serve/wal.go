@@ -2,44 +2,160 @@ package serve
 
 import (
 	"bufio"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/strategy"
 	"repro/internal/trace"
 )
 
-// wal is one session's durable write-ahead log: a newline-delimited JSON
-// file (the internal/trace record encoding) whose first line is a
-// versioned snapshot and every following line one event. The committed
-// state of a session is therefore always "snapshot + event tail", and
-// compaction atomically replaces the file with a fresh snapshot line.
+// wal is one session's durable write-ahead log: a directory of
+// newline-delimited JSON segment files (the internal/trace record
+// encoding), numbered in append order. The first record of the log is a
+// versioned snapshot and every following record one event, so the
+// committed state of a session is always "snapshot + event tail".
+//
+// Segmentation: when SegmentBytes is set, the active segment is sealed
+// (flushed, fsynced, closed) once it reaches that size and appends
+// continue in the next-numbered file. Sealed segments are immutable,
+// which makes them natural batch units for WAL shipping (package
+// cluster) — a reader can tail the directory with plain offset reads
+// and never races the writer beyond the torn tail of the active
+// segment. Compaction writes a fresh snapshot into the next-numbered
+// segment, publishes it by atomic rename, and only then deletes the
+// sealed segments it supersedes; a crash anywhere in between leaves a
+// directory whose newest snapshot still wins on open.
 //
 // Durability discipline: records are buffered and flushed whenever the
-// writer drains its mailbox (group commit) and fsynced on compaction and
-// close; SyncEvery forces a flush+fsync every N appends for callers that
-// want per-event durability. A torn final line (crash mid-append) is
-// detected and truncated on open — a record is committed iff its line is
-// complete.
+// writer drains its mailbox (group commit) and fsynced on seal,
+// compaction, and close; SyncEvery forces a flush+fsync every N appends
+// (counted across segment boundaries) for callers that want per-event
+// durability. A torn final line in the active segment (crash
+// mid-append) is detected and truncated on open — a record is committed
+// iff its line is complete. A torn line in a sealed segment is
+// corruption and fails the open.
 type wal struct {
-	path      string
-	f         *os.File
-	bw        *bufio.Writer
-	tail      int // events appended since the snapshot line
-	syncEvery int
-	sinceSync int
+	dir          string
+	firstSeg     int // oldest live segment number
+	segIdx       int // active segment number
+	f            *os.File
+	bw           *bufio.Writer
+	size         int64 // bytes written to the active segment
+	segmentBytes int64 // rotate when size reaches this (0 disables)
+	tail         int   // events appended since the last snapshot record
+	syncEvery    int
+	sinceSync    int
 }
 
-// createWAL starts a fresh log at path with the given initial snapshot,
-// truncating any previous file.
-func createWAL(path string, snap trace.Snapshot) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+// segName formats a segment file name; the fixed width keeps
+// lexicographic and numeric order identical.
+func segName(i int) string { return fmt.Sprintf("%09d.seg", i) }
+
+// parseSegName returns the segment number encoded in a file name, or
+// false for files that are not segments.
+func parseSegName(name string) (int, bool) {
+	if !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(name, ".seg"))
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment numbers present under dir,
+// ascending. It is a pure read — safe for tailers running beside a
+// live writer (removing anything here could unlink a compaction's
+// in-progress temp file).
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{path: path, f: f, bw: bufio.NewWriter(f)}
-	if err := trace.WriteSnapshotRecord(w.bw, snap); err != nil {
+	var segs []int
+	for _, e := range ents {
+		if n, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// cleanTemps removes leftover ".tmp" files from a crashed compaction.
+// Only the exclusive open path (openWAL) may call it.
+func cleanTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// startsWithSnapshot reports whether a segment file's first committed
+// record is a snapshot (createWAL's first segment and every compaction
+// segment are; append-continuation segments are not).
+func startsWithSnapshot(p string) bool {
+	f, err := os.Open(p)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	line, err := bufio.NewReader(f).ReadBytes('\n')
+	if err != nil {
+		return false // empty or torn first line
+	}
+	var wr struct {
+		Snap *trace.Snapshot `json:"snap"`
+	}
+	return json.Unmarshal(line, &wr) == nil && wr.Snap != nil
+}
+
+// write appends one encoded record to the active segment, tracking its
+// size.
+func (w *wal) write(enc func(io.Writer) error) error {
+	return enc(countingWriter{w.bw, &w.size})
+}
+
+// countingWriter adds written byte counts to n.
+type countingWriter struct {
+	w io.Writer
+	n *int64
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	*cw.n += int64(n)
+	return n, err
+}
+
+// createWAL starts a fresh log at dir with the given initial snapshot,
+// removing any previous log.
+func createWAL(dir string, snap trace.Snapshot) (*wal, error) {
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(1)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{dir: dir, firstSeg: 1, segIdx: 1, f: f, bw: bufio.NewWriter(f)}
+	if err := w.write(func(out io.Writer) error { return trace.WriteSnapshotRecord(out, snap) }); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -47,51 +163,132 @@ func createWAL(path string, snap trace.Snapshot) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
+	syncDir(dir)
 	return w, nil
 }
 
-// openWAL reads an existing log back: the snapshot, the committed event
-// tail, and a wal handle positioned for appending. Torn trailing bytes
-// (a crash mid-append) are truncated away; corrupt committed records
-// fail the open.
-func openWAL(path string) (trace.Snapshot, []strategy.Event, *wal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
-	if err != nil {
+// openWAL reads an existing log back: the newest snapshot, the
+// committed event tail after it, and a wal handle positioned for
+// appending to the last segment. Torn trailing bytes in the active
+// (last) segment are truncated away; corrupt committed records or torn
+// sealed segments fail the open. Sealed segments wholly superseded by a
+// later snapshot segment (an interrupted compaction) are deleted.
+func openWAL(dir string) (trace.Snapshot, []strategy.Event, *wal, error) {
+	fail := func(err error) (trace.Snapshot, []strategy.Event, *wal, error) {
 		return trace.Snapshot{}, nil, nil, err
 	}
-	recs, committed, err := trace.ReadRecords(f)
+	fi, err := os.Stat(dir)
 	if err != nil {
-		f.Close()
-		return trace.Snapshot{}, nil, nil, fmt.Errorf("serve: wal %s: %w", path, err)
+		return fail(err)
 	}
-	if len(recs) == 0 || recs[0].Snap == nil {
-		f.Close()
-		return trace.Snapshot{}, nil, nil, fmt.Errorf("serve: wal %s does not start with a snapshot", path)
+	if !fi.IsDir() {
+		return fail(fmt.Errorf("serve: wal %s is not a segment directory", dir))
 	}
-	snap := *recs[0].Snap
-	var tail []strategy.Event
-	for i, r := range recs[1:] {
-		if r.Ev == nil {
-			f.Close()
-			return trace.Snapshot{}, nil, nil, fmt.Errorf("serve: wal %s: record %d is a second snapshot", path, i+1)
+	cleanTemps(dir)
+	segs, err := listSegments(dir)
+	if err != nil {
+		return fail(err)
+	}
+	if len(segs) == 0 {
+		return fail(fmt.Errorf("serve: wal %s has no segments", dir))
+	}
+
+	// Newest-snapshot-wins: locate the latest segment that begins with
+	// a snapshot record. Everything before it is superseded — including
+	// a torn old active segment abandoned mid-buffer by a compaction
+	// that crashed between publishing its snapshot segment and deleting
+	// the predecessors — so those files are retired unread.
+	snapSeg := -1
+	for i := len(segs) - 1; i >= 0; i-- {
+		if startsWithSnapshot(filepath.Join(dir, segName(segs[i]))) {
+			snapSeg = segs[i]
+			break
 		}
-		tail = append(tail, *r.Ev)
 	}
-	if err := f.Truncate(committed); err != nil {
+	if snapSeg < 0 {
+		return fail(fmt.Errorf("serve: wal %s holds no snapshot", dir))
+	}
+	for _, idx := range segs {
+		if idx < snapSeg {
+			os.Remove(filepath.Join(dir, segName(idx)))
+		}
+	}
+
+	var (
+		snap     *trace.Snapshot
+		tail     []strategy.Event
+		lastSize int64 // committed size of the final segment
+	)
+	for i, idx := range segs {
+		if idx < snapSeg {
+			continue
+		}
+		p := filepath.Join(dir, segName(idx))
+		f, err := os.Open(p)
+		if err != nil {
+			return fail(err)
+		}
+		recs, committed, err := trace.ReadRecords(f)
+		st, serr := f.Stat()
 		f.Close()
-		return trace.Snapshot{}, nil, nil, err
+		if err != nil {
+			return fail(fmt.Errorf("serve: wal %s: %w", p, err))
+		}
+		if serr != nil {
+			return fail(serr)
+		}
+		final := i == len(segs)-1
+		if !final && committed != st.Size() {
+			return fail(fmt.Errorf("serve: wal %s: torn record in sealed segment", p))
+		}
+		if final {
+			lastSize = committed
+		}
+		for j, r := range recs {
+			if r.Snap != nil {
+				// A later snapshot within the live range supersedes
+				// everything before it.
+				snap = r.Snap
+				tail = tail[:0]
+				continue
+			}
+			if snap == nil {
+				return fail(fmt.Errorf("serve: wal %s: record %d precedes any snapshot", p, j))
+			}
+			tail = append(tail, *r.Ev)
+		}
 	}
-	if _, err := f.Seek(committed, 0); err != nil {
+	if snap == nil {
+		return fail(fmt.Errorf("serve: wal %s holds no snapshot", dir))
+	}
+
+	last := segs[len(segs)-1]
+	lastPath := filepath.Join(dir, segName(last))
+	f, err := os.OpenFile(lastPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	if err := f.Truncate(lastSize); err != nil {
 		f.Close()
-		return trace.Snapshot{}, nil, nil, err
+		return fail(err)
 	}
-	w := &wal{path: path, f: f, bw: bufio.NewWriter(f), tail: len(tail)}
-	return snap, tail, w, nil
+	if _, err := f.Seek(lastSize, io.SeekStart); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	w := &wal{dir: dir, firstSeg: snapSeg, segIdx: last, f: f, bw: bufio.NewWriter(f), size: lastSize, tail: len(tail)}
+	return *snap, tail, w, nil
 }
 
-// append logs one event record.
+// append logs one event record, sealing and rotating the active segment
+// first when it has reached SegmentBytes.
 func (w *wal) append(ev strategy.Event) error {
-	if err := trace.WriteEventRecord(w.bw, ev); err != nil {
+	if w.segmentBytes > 0 && w.size >= w.segmentBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	if err := w.write(func(out io.Writer) error { return trace.WriteEventRecord(out, ev) }); err != nil {
 		return err
 	}
 	w.tail++
@@ -102,11 +299,37 @@ func (w *wal) append(ev strategy.Event) error {
 	return nil
 }
 
+// rotate seals the active segment (flush + fsync + close) and starts
+// the next one. Sealing makes every buffered record durable, so the
+// SyncEvery counter restarts.
+func (w *wal) rotate() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.segIdx++
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.segIdx)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	syncDir(w.dir)
+	w.f = f
+	w.bw = bufio.NewWriter(f)
+	w.size = 0
+	w.sinceSync = 0
+	return nil
+}
+
 // flush pushes buffered records to the OS (group commit at mailbox
 // drains).
 func (w *wal) flush() error { return w.bw.Flush() }
 
-// sync flushes and fsyncs.
+// sync flushes and fsyncs the active segment.
 func (w *wal) sync() error {
 	if err := w.bw.Flush(); err != nil {
 		return err
@@ -115,17 +338,22 @@ func (w *wal) sync() error {
 	return w.f.Sync()
 }
 
-// compact atomically replaces the log with a fresh snapshot: the new
-// file is written and fsynced beside the old one, then renamed over it,
-// so a crash at any point leaves one complete, parseable log.
+// compact replaces the log's prefix with a fresh snapshot: the snapshot
+// is written to the next-numbered segment beside the live ones, fsynced,
+// published by atomic rename, and only then are the superseded sealed
+// segments (every lower-numbered file) deleted. A crash at any point
+// leaves a directory whose newest snapshot reconstructs the same state.
 func (w *wal) compact(snap trace.Snapshot) error {
-	tmp := w.path + ".tmp"
+	newIdx := w.segIdx + 1
+	final := filepath.Join(w.dir, segName(newIdx))
+	tmp := final + ".tmp"
 	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
+	var size int64
 	bw := bufio.NewWriter(nf)
-	if err := trace.WriteSnapshotRecord(bw, snap); err != nil {
+	if err := trace.WriteSnapshotRecord(countingWriter{bw, &size}, snap); err != nil {
 		nf.Close()
 		os.Remove(tmp)
 		return err
@@ -140,25 +368,29 @@ func (w *wal) compact(snap trace.Snapshot) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, w.path); err != nil {
+	if err := os.Rename(tmp, final); err != nil {
 		nf.Close()
 		os.Remove(tmp)
 		return err
 	}
-	// Durably record the rename itself.
-	if dir, err := os.Open(filepath.Dir(w.path)); err == nil {
-		dir.Sync()
-		dir.Close()
-	}
+	// Durably record the rename itself, then retire the superseded
+	// segments (only the live range — long-gone numbers stay gone).
+	syncDir(w.dir)
 	w.f.Close()
+	for i := w.firstSeg; i <= w.segIdx; i++ {
+		os.Remove(filepath.Join(w.dir, segName(i)))
+	}
+	w.firstSeg = newIdx
+	w.segIdx = newIdx
 	w.f = nf
 	w.bw = bufio.NewWriter(nf)
+	w.size = size
 	w.tail = 0
 	w.sinceSync = 0
 	return nil
 }
 
-// close flushes, fsyncs, and releases the file.
+// close flushes, fsyncs, and releases the active segment.
 func (w *wal) close() error {
 	if err := w.sync(); err != nil {
 		w.f.Close()
@@ -171,3 +403,83 @@ func (w *wal) close() error {
 // simulated-crash path: whatever the last group commit pushed to the OS
 // survives, everything after it is lost, exactly as if the process died.
 func (w *wal) abort() error { return w.f.Close() }
+
+// syncDir fsyncs a directory so renames and file creations within it
+// are durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// WALPos addresses a point in a segmented WAL: a segment number and a
+// byte offset within it. The zero value means "start of the log".
+type WALPos struct {
+	Seg int
+	Off int64
+}
+
+// ErrWALGap reports that a TailWAL position refers to a segment that no
+// longer exists (compaction retired it); the tailer's history is stale
+// and it must restart from the zero position.
+var ErrWALGap = errors.New("serve: wal position precedes the oldest segment")
+
+// TailWAL reads every committed record at or after pos from a session's
+// WAL directory, returning them with the position where the committed
+// prefix ends. It is safe to run concurrently with the session writer:
+// sealed segments are immutable, and the active segment is read up to
+// its last complete record — a torn or still-buffered tail is simply
+// "not yet committed" and is picked up by a later call. This is the
+// read path WAL shipping (package cluster) tails a primary's log with.
+func TailWAL(dir string, pos WALPos) ([]trace.Record, WALPos, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, pos, err
+	}
+	if len(segs) == 0 {
+		return nil, pos, fmt.Errorf("serve: wal %s has no segments", dir)
+	}
+	if pos.Seg == 0 {
+		pos = WALPos{Seg: segs[0]}
+	}
+	if pos.Seg < segs[0] {
+		return nil, pos, ErrWALGap
+	}
+	var out []trace.Record
+	for _, idx := range segs {
+		if idx < pos.Seg {
+			continue
+		}
+		off := int64(0)
+		if idx == pos.Seg {
+			off = pos.Off
+		}
+		f, err := os.Open(filepath.Join(dir, segName(idx)))
+		if err != nil {
+			return nil, pos, err
+		}
+		recs, end, err := trace.ReadRecordsAt(f, off)
+		f.Close()
+		if err != nil {
+			return nil, pos, err
+		}
+		out = append(out, recs...)
+		pos = WALPos{Seg: idx, Off: end}
+	}
+	return out, pos, nil
+}
+
+// lastSegmentPath returns the path of a log's active (last) segment —
+// the file a torn append would land in. Tests use it to simulate
+// crashes mid-write.
+func lastSegmentPath(dir string) (string, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(segs) == 0 {
+		return "", fmt.Errorf("serve: wal %s has no segments", dir)
+	}
+	return filepath.Join(dir, segName(segs[len(segs)-1])), nil
+}

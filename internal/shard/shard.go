@@ -97,6 +97,12 @@ func (c Config) Shards() int { return c.GridX * c.GridY }
 type Hosted interface {
 	engine.Subscriber
 	Assignment() toca.Assignment
+	// SetColor installs an externally computed color (toca.None removes
+	// the entry). The coordinator's fold and writeback paths mutate
+	// hosted assignments only through it, so strategies with internal
+	// accounting (Minim's incremental max-color accumulator) stay
+	// consistent.
+	SetColor(id graph.NodeID, c toca.Color)
 }
 
 // Spec describes one strategy to host on a sharded run.
@@ -466,12 +472,11 @@ func (c *Coordinator) fold() {
 	for _, l := range c.shards {
 		for _, o := range l.outcomes {
 			for i := range c.borderSubs {
-				global := c.borderSubs[i].Assignment()
 				if o.kind == strategy.Leave {
-					delete(global, o.id)
+					c.borderSubs[i].SetColor(o.id, toca.None)
 				}
 				for id, col := range o.outs[i].Recoded {
-					global[id] = col
+					c.borderSubs[i].SetColor(id, col)
 				}
 			}
 		}
@@ -567,17 +572,17 @@ func (c *Coordinator) applyBorder(ev strategy.Event) error {
 			if !ok {
 				return fmt.Errorf("shard: recoded node %d absent from mirror", id)
 			}
-			c.shards[c.regionOf(cfg.Pos)].subs[i].Assignment()[id] = col
+			c.shards[c.regionOf(cfg.Pos)].subs[i].SetColor(id, col)
 		}
 		switch ev.Kind {
 		case strategy.Leave:
-			delete(c.shards[c.regionOf(prevCfg.Pos)].subs[i].Assignment(), ev.ID)
+			c.shards[c.regionOf(prevCfg.Pos)].subs[i].SetColor(ev.ID, toca.None)
 		case strategy.Move:
 			oldS, newS := c.regionOf(prevCfg.Pos), c.regionOf(ev.Pos)
 			if oldS != newS {
-				delete(c.shards[oldS].subs[i].Assignment(), ev.ID)
+				c.shards[oldS].subs[i].SetColor(ev.ID, toca.None)
 				if col, ok := c.borderSubs[i].Assignment()[ev.ID]; ok {
-					c.shards[newS].subs[i].Assignment()[ev.ID] = col
+					c.shards[newS].subs[i].SetColor(ev.ID, col)
 				}
 			}
 		}

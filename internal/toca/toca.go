@@ -31,6 +31,17 @@ const None Color = 0
 // Assignment maps nodes to codes.
 type Assignment map[graph.NodeID]Color
 
+// Set writes one node's code; None removes the entry (assignments
+// never store explicit None). This is the single write convention every
+// externally mutable assignment holder shares.
+func (a Assignment) Set(id graph.NodeID, c Color) {
+	if c == None {
+		delete(a, id)
+		return
+	}
+	a[id] = c
+}
+
 // Clone returns a deep copy of a.
 func (a Assignment) Clone() Assignment {
 	c := make(Assignment, len(a))

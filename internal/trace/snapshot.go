@@ -230,6 +230,24 @@ func writeRecord(w io.Writer, r walRecord) error {
 	return err
 }
 
+// ReadRecordsAt decodes committed records starting at byte offset off
+// of a WAL stream, returning them together with the absolute offset
+// where the committed prefix ends. It is the offset-addressed read the
+// replication shipper tails a live WAL file with: records before off
+// were already consumed, a torn tail past the returned offset is simply
+// "not yet committed", and the caller re-reads from the returned offset
+// once the writer has appended more.
+func ReadRecordsAt(rs io.ReadSeeker, off int64) ([]Record, int64, error) {
+	if _, err := rs.Seek(off, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("trace: seek %d: %w", off, err)
+	}
+	recs, n, err := ReadRecords(rs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return recs, off + n, nil
+}
+
 // ReadRecords decodes a WAL stream. It returns the records of every
 // committed (newline-terminated, well-formed) line along with the byte
 // offset where the committed prefix ends: a torn final line — no

@@ -150,3 +150,52 @@ func TestWALTornTailIgnored(t *testing.T) {
 		t.Fatal("terminated malformed line accepted")
 	}
 }
+
+// TestReadRecordsAt: offset-addressed reads resume exactly where a
+// previous read stopped — the shipper's tailing pattern: read, writer
+// appends (possibly tearing the last line), read again from the
+// returned offset, and the concatenation equals one full read.
+func TestReadRecordsAt(t *testing.T) {
+	snap, _ := snapshotFixture(t)
+	script := sampleScript()
+	var buf bytes.Buffer
+	if err := WriteSnapshotRecord(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range script[:2] {
+		if err := WriteEventRecord(&buf, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, off, err := ReadRecordsAt(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 3 || off != int64(buf.Len()) {
+		t.Fatalf("first read: %d records to offset %d (buffer %d)", len(first), off, buf.Len())
+	}
+
+	// The writer appends more, with a torn final line.
+	for _, ev := range script[2:] {
+		if err := WriteEventRecord(&buf, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	committed := buf.Len()
+	buf.WriteString(`{"ev":{"kind":"move","id":`)
+	second, off2, err := ReadRecordsAt(bytes.NewReader(buf.Bytes()), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != len(script)-2 {
+		t.Fatalf("second read: %d records, want %d", len(second), len(script)-2)
+	}
+	if off2 != int64(committed) {
+		t.Fatalf("second read stopped at %d, want committed %d", off2, committed)
+	}
+	for i, r := range second {
+		if r.Ev == nil || !reflect.DeepEqual(*r.Ev, script[2+i]) {
+			t.Fatalf("record %d of second read differs", i)
+		}
+	}
+}
