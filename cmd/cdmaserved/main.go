@@ -16,10 +16,20 @@
 // Cluster mode (-cluster) joins a fleet of cdmaserved processes (see
 // internal/cluster): sessions created via POST /cluster/sessions are
 // placed by rendezvous hashing, replicated to -replicas followers by
-// WAL shipping, and failed over automatically when a primary dies. Any
-// member answers GET /cluster/route and 307-redirects /v1 requests to
-// the session's primary. -join introduces this member to an existing
-// one; the -interval loop drives gossip, shipping, and reconciliation.
+// WAL shipping (one shared log read fans out to every follower), and
+// failed over automatically when a primary dies. Any member answers
+// GET /cluster/route (?read=1 nominates a read target across the whole
+// owner set) and 307-redirects /v1 requests to the session's primary —
+// except reads (status, assignment, conflicts, metrics) of sessions
+// the member FOLLOWS, which are served directly from the replica's
+// warm view, tagged X-Read-From: follower, with ?min_seq= bounding
+// staleness (wait, then redirect-or-503). Late-joining or far-behind
+// followers catch up by fetching the primary's newest snapshot segment
+// (GET /cluster/snapshot/{id}) instead of replaying the full log, and
+// a session's "compact_every" budget drives barrier-coordinated WAL
+// truncation on primary and followers alike. -join introduces this
+// member to an existing one; the -interval loop drives gossip,
+// shipping, and reconciliation.
 //
 // SIGINT/SIGTERM drain every session (final WAL sync) before exiting.
 package main

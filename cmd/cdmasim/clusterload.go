@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"time"
 
 	"repro/internal/adhoc"
@@ -22,14 +23,18 @@ import (
 
 // runClusterLoad is the cluster load-generator mode: an in-process
 // 3-member cluster over real HTTP, a client that keeps writing through
-// a mid-run primary kill, and a verification pass that the survivors'
-// state matches a single-process reference run exactly.
+// a mid-run primary kill, a READER that spreads its traffic across the
+// owner set (half of it lands on follower-served reads) with chained
+// min_seq monotonicity, and a verification pass that the survivors'
+// state matches a single-process reference run exactly — including
+// CA1/CA2 re-checked entirely through follower-served reads.
 //
 // The client behaves like a real one: it resolves the primary via
-// /cluster/route, follows 307 redirects, retries on 429, and — after
-// the failover — re-reads the promoted session's sequence number and
+// /cluster/route (and read targets via ?read=1), follows 307
+// redirects, retries on 429, and — after the failover — re-reads the
+// promoted session's sequence number from a primary-served status and
 // resumes its script from there. The run fails loudly if the promoted
-// state or the finished run diverges from the reference.
+// state, the finished run, or any follower-served answer diverges.
 func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replicas int, verbose bool) {
 	const members = 3
 	session := "cluster-load"
@@ -98,6 +103,14 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 	tickAll(3)
 
 	client := &http.Client{Timeout: 10 * time.Second}
+	// rdClient surfaces 307s instead of following them, so reads show
+	// exactly which member served them (follower reads are direct).
+	rdClient := &http.Client{
+		Timeout: 10 * time.Second,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
 	anyAddr := func() string {
 		for _, id := range order {
 			if !crashed[id] {
@@ -131,12 +144,67 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 			ID string `json:"id"`
 		} `json:"primary"`
 	}
-	cfg := map[string]interface{}{"strategies": []string{"Minim", "CP", "BBB"}, "sync_every": 1, "segment_bytes": 4096}
+	cfg := map[string]interface{}{
+		"strategies": []string{"Minim", "CP", "BBB"}, "sync_every": 1,
+		// Small segments + a compaction budget: the smoke exercises
+		// barrier-coordinated truncation and snapshot catch-up, not
+		// just append-only shipping.
+		"segment_bytes": 4096, "compact_every": 64,
+	}
 	if code, err := postJSON("/cluster/sessions", map[string]interface{}{"id": session, "config": cfg}, &ri); err != nil || code != http.StatusCreated {
 		fail(fmt.Errorf("create: code %d err %v", code, err))
 	}
 	primary := cluster.MemberID(ri.Primary.ID)
 	start := time.Now()
+
+	// The reader: resolve a read target (round-robin over the owner
+	// set: the primary AND its followers), read the session status with
+	// the last observed seq as min_seq, and insist on monotonicity.
+	// 307 (handover) and 503 (retryable failover window) are legal;
+	// going backwards never is.
+	lastSeen, reads, followerReads := 0, 0, 0
+	readOnce := func() {
+		var route struct {
+			Read *struct {
+				Addr string `json:"addr"`
+			} `json:"read"`
+		}
+		resp, err := client.Get("http://" + anyAddr() + "/cluster/route?read=1&session=" + session)
+		if err != nil {
+			return
+		}
+		err = json.NewDecoder(resp.Body).Decode(&route)
+		resp.Body.Close()
+		if err != nil || route.Read == nil {
+			return
+		}
+		rr, err := rdClient.Get(fmt.Sprintf("http://%s/v1/sessions/%s?min_seq=%d&wait_ms=100", route.Read.Addr, session, lastSeen))
+		if err != nil {
+			return // routed member just died; a real client retries
+		}
+		defer rr.Body.Close()
+		switch rr.StatusCode {
+		case http.StatusOK:
+			var st struct {
+				Seq int `json:"seq"`
+			}
+			if err := json.NewDecoder(rr.Body).Decode(&st); err != nil {
+				fail(err)
+			}
+			if st.Seq < lastSeen {
+				fail(fmt.Errorf("reader saw seq %d after %d: monotonic reads violated", st.Seq, lastSeen))
+			}
+			lastSeen = st.Seq
+			reads++
+			if rr.Header.Get("X-Read-From") == "follower" {
+				followerReads++
+			}
+		case http.StatusTemporaryRedirect, http.StatusServiceUnavailable:
+			// handover or retryable window
+		default:
+			fail(fmt.Errorf("reader got HTTP %d; only 200/307/503 are legal", rr.StatusCode))
+		}
+	}
 
 	// The write loop: apply in small batches (retrying 429s), with the
 	// background loops running between batches; kill the primary
@@ -187,6 +255,9 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 		if rng.Float64() < 0.3 {
 			tickAll(1)
 		}
+		if rng.Float64() < 0.5 {
+			readOnce()
+		}
 	}
 
 	// Kill the primary mid-run.
@@ -198,22 +269,35 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 	tickAll(4)
 	background()
 
-	// The client re-reads the promoted sequence number and resumes.
-	resp, err := client.Get("http://" + anyAddr() + "/v1/sessions/" + session)
-	if err != nil {
-		fail(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		resp.Body.Close()
-		fail(fmt.Errorf("session status after failover: HTTP %d (promotion or routing failed)", resp.StatusCode))
-	}
+	// The client re-reads the promoted sequence number from a
+	// PRIMARY-served status (no X-Read-From tag) and resumes. A
+	// follower-served status reports the replica's own applied seq —
+	// fine for reads, but resuming writes from it would double-apply
+	// whatever the replica had not yet been shipped.
 	var st struct {
 		Seq int `json:"seq"`
 	}
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
-	if err != nil {
-		fail(err)
+	gotPrimary := false
+	for _, id := range order {
+		if crashed[id] {
+			continue
+		}
+		resp, err := client.Get("http://" + nodes[id].Addr() + "/v1/sessions/" + session)
+		if err != nil {
+			continue
+		}
+		ok := resp.StatusCode == http.StatusOK && resp.Header.Get("X-Read-From") == ""
+		if ok {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+		}
+		resp.Body.Close()
+		if ok && err == nil {
+			gotPrimary = true
+			break
+		}
+	}
+	if !gotPrimary {
+		fail(fmt.Errorf("no primary-served session status after failover (promotion or routing failed)"))
 	}
 	if st.Seq > applied {
 		fail(fmt.Errorf("promoted seq %d beyond applied %d", st.Seq, applied))
@@ -228,9 +312,76 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 		if rng.Float64() < 0.5 {
 			background()
 		}
+		if rng.Float64() < 0.5 {
+			readOnce()
+		}
 	}
 	background()
+	background() // a second round completes any pending compaction step
 	elapsed := time.Since(start)
+
+	// CA1/CA2 entirely through follower-served reads: fetch every
+	// strategy's full assignment and each node's conflict neighborhood
+	// from a follower replica (min_seq pins the final state) and
+	// require a proper coloring of the conflict graph.
+	var fri struct {
+		Followers []struct {
+			Addr string `json:"addr"`
+		} `json:"followers"`
+	}
+	if _, err := func() (int, error) {
+		resp, err := client.Get("http://" + anyAddr() + "/cluster/route?session=" + session)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(&fri)
+	}(); err != nil {
+		fail(err)
+	}
+	if len(fri.Followers) == 0 {
+		fail(fmt.Errorf("no followers to verify through after the run"))
+	}
+	base := fmt.Sprintf("http://%s/v1/sessions/%s", fri.Followers[0].Addr, session)
+	pin := fmt.Sprintf("min_seq=%d&wait_ms=5000", len(script))
+	followerGet := func(path string, out interface{}) {
+		rr, err := rdClient.Get(base + path)
+		if err != nil {
+			fail(err)
+		}
+		defer rr.Body.Close()
+		if rr.StatusCode != http.StatusOK || rr.Header.Get("X-Read-From") != "follower" {
+			fail(fmt.Errorf("follower read %s: HTTP %d (served-by %q)", path, rr.StatusCode, rr.Header.Get("X-Read-From")))
+		}
+		if err := json.NewDecoder(rr.Body).Decode(out); err != nil {
+			fail(err)
+		}
+	}
+	strategies := []string{"Minim", "CP", "BBB"}
+	assigns := map[string]map[string]int{}
+	for _, name := range strategies {
+		var out struct {
+			Colors map[string]int `json:"colors"`
+		}
+		followerGet("/assignment?"+pin+"&strategy="+name, &out)
+		assigns[name] = out.Colors
+	}
+	checkedNodes := 0
+	for ids := range assigns[strategies[0]] {
+		var out struct {
+			Conflicts []int `json:"conflicts"`
+		}
+		followerGet("/conflicts?"+pin+"&node="+ids, &out)
+		for _, nb := range out.Conflicts {
+			nbs := strconv.Itoa(nb)
+			for name, colors := range assigns {
+				if colors[ids] == colors[nbs] {
+					fail(fmt.Errorf("follower-served %s: nodes %s and %s share code %d (CA1/CA2 violation)", name, ids, nbs, colors[ids]))
+				}
+			}
+		}
+		checkedNodes++
+	}
 
 	// Differential verification: the survivors' final state must match
 	// a single-process run of the full script, strategy by strategy.
@@ -284,5 +435,6 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 	fmt.Printf("events applied  : %d (+%d resubmitted after failover, %d backpressure retries, %.0f events/s)\n",
 		len(script), killAt-resumedFrom, rejected, float64(applied)/elapsed.Seconds())
 	fmt.Printf("failover        : promoted at acked offset %d; continued run bit-identical to uncrashed reference\n", resumedFrom)
-	fmt.Printf("CA1/CA2         : valid for all 3 strategies on the promoted primary\n")
+	fmt.Printf("reads           : %d monotonic (min_seq-chained), %d served by followers, final seq %d\n", reads, followerReads, lastSeen)
+	fmt.Printf("CA1/CA2         : valid for all 3 strategies on the promoted primary AND through follower-served reads (%d nodes checked)\n", checkedNodes)
 }

@@ -286,25 +286,39 @@ func (h *harness) applyEvents(session string, evs []strategy.Event) {
 	}
 }
 
-// seqOf reads a session's sequence number over HTTP (what a client
-// resuming after failover would do).
+// seqOf reads a session's sequence number from its current PRIMARY
+// over HTTP (what a client resuming writes after a failover must do:
+// a follower-served status reports the replica's own applied seq,
+// which may trail the promoted primary's — fine for reads, wrong as a
+// write-resume point). A primary-served status is recognized by the
+// absence of the X-Read-From follower tag; members are tried until one
+// answers authoritatively, redirects included.
 func (h *harness) seqOf(session string) int {
 	h.t.Helper()
-	resp, err := h.client.Get("http://" + h.anyAddr() + "/v1/sessions/" + session)
-	if err != nil {
-		h.t.Fatal(err)
+	for _, id := range h.order {
+		if h.crashed[id] {
+			continue
+		}
+		resp, err := h.client.Get("http://" + h.nodes[id].Addr() + "/v1/sessions/" + session)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Read-From") != "" {
+			resp.Body.Close()
+			continue
+		}
+		var out struct {
+			Seq int `json:"seq"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		return out.Seq
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		h.t.Fatalf("status of %s: %s", session, resp.Status)
-	}
-	var out struct {
-		Seq int `json:"seq"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		h.t.Fatal(err)
-	}
-	return out.Seq
+	h.t.Fatalf("no member answered a primary-served status of %s", session)
+	return 0
 }
 
 // refSession drives a single-process reference engine over a script

@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/serve"
 	"repro/internal/strategy"
@@ -34,18 +38,35 @@ type createReq struct {
 }
 
 // routeInfo answers /cluster/route: where a session's primary and
-// followers currently are.
+// followers currently are. With ?read=1 it additionally nominates Read,
+// one member of the owner set chosen round-robin, as the target for a
+// follower-servable read — spreading read traffic across every warm
+// copy of the session instead of pinning it to the primary.
 type routeInfo struct {
 	Session   string   `json:"session"`
 	Primary   Member   `json:"primary"`
 	Followers []Member `json:"followers"`
+	Read      *Member  `json:"read,omitempty"`
 }
 
+// Follower read-path tuning: how long a read with min_seq waits for the
+// local replica to catch up before redirecting or failing retryably,
+// and how often it polls the (lock-free) view while waiting.
+const (
+	defaultReadWait = 2 * time.Second
+	maxReadWait     = 10 * time.Second
+	readWaitPoll    = 2 * time.Millisecond
+)
+
 // Handler exposes the member over HTTP: the cluster control plane
-// (gossip, route, ship, adopt, create) plus the serve /v1 session API
-// for the sessions this member leads. Requests for sessions led
-// elsewhere are 307-redirected to the rendezvous primary, so any member
-// is a valid entry point.
+// (gossip, route, ship, snapshot, adopt, create) plus the serve /v1
+// session API. /v1 requests for sessions led locally are served by the
+// live session; GET reads (status, assignment, conflicts, metrics) for
+// sessions this member merely FOLLOWS are served from the replica's
+// warm view, tagged with the applied seq and honoring ?min_seq=
+// (wait-or-redirect, bounded staleness); everything else is
+// 307-redirected to the rendezvous primary, so any member is a valid
+// entry point.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	v1 := serve.NewHandler(n.mgr)
@@ -55,9 +76,10 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/route", n.handleRoute)
 	mux.HandleFunc("POST /cluster/sessions", n.handleCreate)
 	mux.HandleFunc("POST /cluster/ship/{id}", n.handleShip)
+	mux.HandleFunc("GET /cluster/snapshot/{id}", n.handleSnapshot)
 	mux.HandleFunc("POST /cluster/adopt/{id}", n.handleAdopt)
 	mux.HandleFunc("GET /cluster/holds/{id}", n.handleHolds)
-	mux.Handle("/v1/", n.redirectNonLocal(v1))
+	mux.Handle("/v1/", n.routeV1(v1))
 	return mux
 }
 
@@ -98,6 +120,11 @@ func (n *Node) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		httpErr(w, http.StatusServiceUnavailable, errors.New("cluster: no live members"))
 		return
+	}
+	if r.URL.Query().Get("read") != "" {
+		owners := append([]Member{ri.Primary}, ri.Followers...)
+		pick := owners[int(n.readRR.Add(1))%len(owners)]
+		ri.Read = &pick
 	}
 	writeJSON(w, http.StatusOK, ri)
 }
@@ -149,23 +176,16 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, ok := n.mgr.GetReplica(id)
 	if !ok {
-		if req.Snap == nil {
-			// No replica and no bootstrap snapshot: ask the shipper to
-			// rewind.
-			writeJSON(w, http.StatusOK, shipResp{Acked: 0, Gap: true})
-			return
-		}
+		// No local copy at all: bootstrap by snapshot catch-up — fetch
+		// the primary's newest snapshot segment (plus committed tail)
+		// and install it, instead of making the primary replay and
+		// buffer its whole history through the ship stream.
 		var err error
-		rep, err = n.mgr.NewReplica(id, req.Config.serveConfig(), *req.Snap)
+		rep, err = n.snapshotCatchup(id, req)
 		if err != nil {
-			httpErr(w, http.StatusBadRequest, err)
-			return
-		}
-		// Persist the config beside the WAL so a restarted follower can
-		// re-register this replica (Recover) instead of rebuilding from
-		// a bootstrap snapshot.
-		if err := n.persistSessionConfig(id, req.Config); err != nil {
-			httpErr(w, http.StatusInternalServerError, err)
+			// Catch-up needs the primary reachable; until then the
+			// backlog simply stays pending on the shipper.
+			writeJSON(w, http.StatusOK, shipResp{Acked: 0, Gap: true})
 			return
 		}
 	}
@@ -183,13 +203,127 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 		evs = append(evs, ev)
 	}
 	acked, err := rep.Offer(req.From, evs)
+	if errors.Is(err, serve.ErrReplicaGap) {
+		// The batch starts beyond our log — the primary compacted past
+		// our acknowledged offset (or our copy predates its retained
+		// history). Catch up by snapshot transfer, then fold the batch
+		// in (sequence-number dedup skips what the snapshot covered).
+		rep, err = n.snapshotCatchup(id, req)
+		if err != nil {
+			writeJSON(w, http.StatusOK, shipResp{Acked: acked, Gap: true})
+			return
+		}
+		acked, err = rep.Offer(req.From, evs)
+	}
 	switch {
 	case errors.Is(err, serve.ErrReplicaGap):
 		writeJSON(w, http.StatusOK, shipResp{Acked: acked, Gap: true})
 	case err != nil:
 		httpErr(w, http.StatusInternalServerError, err)
 	default:
+		if req.Barrier > 0 {
+			// Honor the primary's compaction barrier once we are past
+			// it (CompactBarrier dedups re-sends internally).
+			if err := rep.CompactBarrier(req.Barrier); err != nil {
+				httpErr(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
 		writeJSON(w, http.StatusOK, shipResp{Acked: acked})
+	}
+}
+
+// snapshotCatchup fetches the shipping primary's newest snapshot
+// segment (snapshot record + committed event tail, one stream) and
+// installs it atomically as this member's replica of the session,
+// verifying the installed sequence number against the primary's
+// header. This is how a late-joining or far-behind follower skips
+// full-log replay.
+func (n *Node) snapshotCatchup(id string, req shipReq) (*serve.Replica, error) {
+	addr, ok := n.addrOf(req.Primary)
+	if !ok {
+		return nil, fmt.Errorf("cluster: no address for primary %s of %q", req.Primary, id)
+	}
+	resp, err := n.client.Get("http://" + addr + "/cluster/snapshot/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: snapshot fetch of %q from %s: %s", id, req.Primary, resp.Status)
+	}
+	wantSeq, err := strconv.Atoi(resp.Header.Get("X-Snapshot-Seq"))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: snapshot fetch of %q: bad X-Snapshot-Seq: %w", id, err)
+	}
+	// Stream the body straight into the install: the transfer is
+	// chunked (no Content-Length), so a connection cut short surfaces
+	// as a copy error inside the install's temp directory — before any
+	// rename touches the real log — and memory stays O(1) regardless
+	// of snapshot size. The seq check below catches a transfer that
+	// raced the primary's own log state.
+	rep, err := n.mgr.InstallReplica(id, req.Config.serveConfig(), resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if got := rep.Seq(); got != wantSeq {
+		n.mgr.CloseReplica(id)
+		return nil, fmt.Errorf("cluster: snapshot install of %q recovered seq %d, primary announced %d", id, got, wantSeq)
+	}
+	if err := n.persistSessionConfig(id, req.Config); err != nil {
+		// The sidecar is what lets a RESTARTED member re-register this
+		// replica (Node.Recover): a registered replica without it would
+		// silently vanish from the promotion candidates on reboot. Keep
+		// the invariant "registered ⇒ persisted" by unwinding the
+		// install; the next ship round redoes the catch-up.
+		n.mgr.CloseReplica(id)
+		return nil, err
+	}
+	return rep, nil
+}
+
+// handleSnapshot streams a led session's newest snapshot and committed
+// tail — the catch-up transfer a behind follower installs in place of
+// replaying the full log. The X-Snapshot-Seq header announces the
+// sequence number the stream reconstructs; the fetcher verifies it
+// after installing, so a stream cut short (or raced by a concurrent
+// truncation) is detected, never silently adopted.
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, leads := n.localPrimary(id); !leads {
+		httpErr(w, http.StatusConflict, fmt.Errorf("cluster: %s does not lead %q", n.cfg.ID, id))
+		return
+	}
+	// Publish everything accepted so far to the log, then plan the
+	// committed byte ranges to stream. During a handoff the session is
+	// closed (writes frozen, WAL flushed and final) but this member
+	// still leads it — the adoptee's bootstrap fetch must be served
+	// from the closed log.
+	if s, ok := n.mgr.Get(id); ok {
+		if err := s.Barrier(); err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	plan, err := serve.PlanSnapshotTail(n.walDir(id))
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Snapshot-Seq", strconv.Itoa(plan.Seq))
+	w.WriteHeader(http.StatusOK)
+	for _, tf := range plan.Files {
+		f, err := os.Open(tf.Path)
+		if err != nil {
+			return // mid-stream abort; the fetcher sees a truncated body
+		}
+		_, err = io.CopyN(w, f, tf.Committed)
+		f.Close()
+		if err != nil {
+			return
+		}
 	}
 }
 
@@ -246,19 +380,64 @@ func (n *Node) localPrimary(id string) (*primaryState, bool) {
 	return ps, ok
 }
 
-// redirectNonLocal serves /v1 session requests for locally led sessions
-// and 307-redirects the rest to the session's rendezvous primary, so a
-// client may talk to any member.
-func (n *Node) redirectNonLocal(v1 http.Handler) http.Handler {
+// readWait parses a request's staleness bound: the minimum applied
+// sequence the response must reflect (?min_seq=, 0 when absent) and how
+// long to wait for it (?wait_ms=, defaulted and capped).
+func readWait(r *http.Request) (minSeq int, budget time.Duration) {
+	minSeq, _ = strconv.Atoi(r.URL.Query().Get("min_seq"))
+	budget = defaultReadWait
+	if ms, err := strconv.Atoi(r.URL.Query().Get("wait_ms")); err == nil && ms >= 0 {
+		budget = time.Duration(ms) * time.Millisecond
+		if budget > maxReadWait {
+			budget = maxReadWait
+		}
+	}
+	return minSeq, budget
+}
+
+// readSubresource maps a /v1/sessions/{id}[/sub] GET to the view-level
+// read it names, or false for paths a follower may not serve (event
+// posts, watch streams, deletes).
+func readSubresource(r *http.Request, id string) (string, bool) {
+	if r.Method != http.MethodGet {
+		return "", false
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/"+id)
+	rest = strings.TrimPrefix(rest, "/")
+	switch rest {
+	case "", "assignment", "conflicts", "metrics":
+		return rest, true
+	}
+	return "", false
+}
+
+// routeV1 is the member's /v1 dispatch: locally led sessions are served
+// live (honoring min_seq against the primary's view), reads of sessions
+// this member follows are served from the replica's warm view, and
+// everything else is redirected to the rendezvous primary — or answered
+// 503-retryable while a failover is in flight, never "gone".
+func (n *Node) routeV1(v1 http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := sessionIDFromPath(r.URL.Path)
 		if id == "" {
 			v1.ServeHTTP(w, r)
 			return
 		}
-		if _, ok := n.mgr.Get(id); ok {
+		if s, ok := n.mgr.Get(id); ok {
+			if minSeq, budget := readWait(r); minSeq > 0 {
+				if !waitSeq(func() int { return s.View().Seq() }, minSeq, budget) {
+					retryErr(w, fmt.Errorf("cluster: min_seq %d not applied (at %d) within wait budget", minSeq, s.View().Seq()))
+					return
+				}
+			}
 			v1.ServeHTTP(w, r)
 			return
+		}
+		if sub, readable := readSubresource(r, id); readable {
+			if rep, ok := n.mgr.GetReplica(id); ok {
+				n.serveFollowerRead(w, r, id, sub, rep)
+				return
+			}
 		}
 		ri, ok := n.primaryFor(id)
 		if !ok || ri.Primary.ID == n.cfg.ID || ri.Primary.Addr == "" {
@@ -268,13 +447,74 @@ func (n *Node) redirectNonLocal(v1 http.Handler) http.Handler {
 			// that never existed, so answer retryable, never "gone" —
 			// a client that treats 404 as deleted could recreate and
 			// overwrite a session about to be promoted from a replica.
-			w.Header().Set("Retry-After", "1")
-			httpErr(w, http.StatusServiceUnavailable,
-				fmt.Errorf("cluster: session %q not served here (failover in progress or unknown session); retry", id))
+			retryErr(w, fmt.Errorf("cluster: session %q not served here (failover in progress or unknown session); retry", id))
 			return
 		}
 		http.Redirect(w, r, "http://"+ri.Primary.Addr+r.URL.RequestURI(), http.StatusTemporaryRedirect)
 	})
+}
+
+// waitSeq polls a lock-free seq source until it reaches min or the
+// budget lapses.
+func waitSeq(seq func() int, min int, budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	for {
+		if seq() >= min {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(readWaitPoll)
+	}
+}
+
+// serveFollowerRead answers a session read from this member's replica:
+// the warm view a follower keeps applying shipped records into. The
+// response carries the applied seq (in the body, like every read) plus
+// X-Read-From headers naming the serving role; ?min_seq= bounds
+// staleness — the read waits for the replica to catch up, and on
+// timeout hands the client to the live primary (307) or, when there is
+// none to hand to, answers 503-retryable. A replica closed mid-request
+// (promotion or decommission racing the read) is also 503-retryable:
+// after a failover the client retries and lands on a state at least as
+// fresh, never on a frozen stale view.
+func (n *Node) serveFollowerRead(w http.ResponseWriter, r *http.Request, id, sub string, rep *serve.Replica) {
+	minSeq, budget := readWait(r)
+	deadline := time.Now().Add(budget)
+	for {
+		if !rep.Live() {
+			retryErr(w, fmt.Errorf("cluster: replica of %q is being promoted or retired; retry", id))
+			return
+		}
+		v := rep.View()
+		if v.Seq() >= minSeq {
+			w.Header().Set("X-Read-From", "follower")
+			w.Header().Set("X-Member", string(n.cfg.ID))
+			switch sub {
+			case "":
+				serve.RenderStatus(w, id, v)
+			case "assignment":
+				serve.RenderAssignment(w, r, v)
+			case "conflicts":
+				serve.RenderConflicts(w, r, v)
+			case "metrics":
+				serve.RenderMetrics(w, v)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(readWaitPoll)
+	}
+	// Still behind min_seq: the primary (if one is alive) holds the
+	// freshest state — hand the client over rather than serve stale.
+	if ri, ok := n.primaryFor(id); ok && ri.Primary.ID != n.cfg.ID && ri.Primary.Addr != "" {
+		http.Redirect(w, r, "http://"+ri.Primary.Addr+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		return
+	}
+	retryErr(w, fmt.Errorf("cluster: replica of %q at seq %d, min_seq %d not reached within wait budget", id, rep.View().Seq(), minSeq))
 }
 
 // sessionIDFromPath extracts {id} from /v1/sessions/{id}[/...], or ""
@@ -294,6 +534,14 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
+}
+
+// retryErr answers 503 with a Retry-After hint — the "try again in a
+// moment" shape every transient cluster condition (failover window,
+// staleness timeout, catch-up in progress) uses.
+func retryErr(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	httpErr(w, http.StatusServiceUnavailable, err)
 }
 
 func httpErr(w http.ResponseWriter, code int, err error) {

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
@@ -36,6 +37,11 @@ type Config struct {
 	Fanout int
 	// Seed feeds the gossip peer selection.
 	Seed uint64
+	// ShipBacklog caps the decoded records each led session's shared
+	// feed retains in memory for unacknowledged followers (default
+	// 4096); followers that fall further behind catch up by snapshot
+	// transfer instead.
+	ShipBacklog int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,11 +51,22 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// primaryState is a session this member leads: its wire config and one
-// shipper per follower.
+// primaryState is a session this member leads: its wire config, the
+// shared WAL feed every follower's shipper reads from, one shipper
+// (cursor) per follower, and the coordinated-compaction state.
 type primaryState struct {
 	cfg      SessionConfig
+	feed     *walFeed
 	shippers map[MemberID]*shipper
+	// pendingBarrier is a compaction barrier already written to the led
+	// session's WAL but whose compaction has not run yet; lastCompact is
+	// the seq of the last barrier that completed (paces CompactEvery).
+	pendingBarrier int
+	lastCompact    int
+}
+
+func newPrimaryState(cfg SessionConfig, backlog int) *primaryState {
+	return &primaryState{cfg: cfg, feed: newWALFeed(backlog), shippers: make(map[MemberID]*shipper)}
 }
 
 // followerState is a session this member replicates and who it believes
@@ -79,6 +96,10 @@ type Node struct {
 	mu        sync.Mutex
 	primaries map[string]*primaryState
 	followers map[string]*followerState
+
+	// readRR rotates /cluster/route?read=1 answers across a session's
+	// owner set so read traffic spreads over primary and followers.
+	readRR atomic.Uint64
 
 	srv *http.Server
 	ln  net.Listener
@@ -285,7 +306,7 @@ func (n *Node) CreateSession(id string, cfg SessionConfig) (*serve.Session, erro
 		return nil, err
 	}
 	n.mu.Lock()
-	n.primaries[id] = &primaryState{cfg: cfg, shippers: make(map[MemberID]*shipper)}
+	n.primaries[id] = newPrimaryState(cfg, n.cfg.ShipBacklog)
 	n.mu.Unlock()
 	n.syncShippers(id)
 	return s, nil
@@ -343,7 +364,11 @@ func (n *Node) ShipAll() error {
 
 // ShipSession runs one replication round for one led session,
 // returning the first shipping error (an unreachable follower is not an
-// error; its backlog just stays pending).
+// error; its backlog just stays pending). The session's WAL is read
+// ONCE per round through the shared feed — every follower's shipper is
+// a cursor into the same decoded window — and, when the session has a
+// CompactEvery budget, a fully caught-up round advances the coordinated
+// compaction state machine.
 func (n *Node) ShipSession(id string) error {
 	s, ok := n.mgr.Get(id)
 	if !ok {
@@ -359,6 +384,7 @@ func (n *Node) ShipSession(id string) error {
 		n.mu.Unlock()
 		return nil
 	}
+	fd := ps.feed
 	shs := make([]*shipper, 0, len(ps.shippers))
 	for _, sh := range ps.shippers {
 		shs = append(shs, sh)
@@ -366,35 +392,75 @@ func (n *Node) ShipSession(id string) error {
 	n.mu.Unlock()
 	sort.Slice(shs, func(i, j int) bool { return shs[i].follower < shs[j].follower })
 
-	var first error
-	for _, sh := range shs {
-		if err := n.shipOne(sh); err != nil && first == nil {
-			first = err
-		}
+	err := n.shipRounds(id, fd, shs)
+	if cerr := n.maybeCompact(id, ps, fd, shs); cerr != nil && err == nil {
+		err = cerr
 	}
-	return first
+	return err
 }
 
-// shipOne advances one follower until its backlog drains: pull new WAL
-// records, push bounded batches (maxShipEvents each), fold the acks
-// back in. It stops on an unreachable follower, on lack of progress,
-// or after at most one gap rewind — whatever is left stays pending for
-// the next round.
-func (n *Node) shipOne(sh *shipper) error {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	gapped := false
+// shipRounds drives pull → batch → ack rounds over one session's
+// shared feed until every given follower is as caught up as it will get
+// this call: the feed refills its bounded window from the log between
+// rounds (pruning what everyone has acknowledged) and the loop ends
+// when no follower advanced.
+func (n *Node) shipRounds(id string, fd *walFeed, shs []*shipper) error {
+	dir := n.walDir(id)
+	var first error
 	for {
-		if err := sh.pull(n.walDir(sh.session)); err != nil {
+		fd.prune(minAcked(fd, shs))
+		if err := fd.pull(dir); err != nil {
 			return err
 		}
-		req, ok := sh.batch(n.cfg.ID)
+		progress := false
+		for _, sh := range shs {
+			adv, err := n.shipOne(fd, sh)
+			if err != nil && first == nil {
+				first = err
+			}
+			progress = progress || adv
+		}
+		if !progress {
+			return first
+		}
+	}
+}
+
+// minAcked is the backlog horizon the feed may prune to: the smallest
+// acknowledged offset among the current followers (everything, when
+// there are none).
+func minAcked(fd *walFeed, shs []*shipper) int {
+	if len(shs) == 0 {
+		return fd.endSeq()
+	}
+	m := -1
+	for _, sh := range shs {
+		sh.mu.Lock()
+		a := sh.acked
+		sh.mu.Unlock()
+		if m < 0 || a < m {
+			m = a
+		}
+	}
+	return m
+}
+
+// shipOne advances one follower through the feed's current window:
+// push bounded batches (maxShipEvents each), fold the acks back in.
+// It stops on an unreachable follower, on lack of progress, or when the
+// window is exhausted; advanced reports whether the follower's state
+// moved (an acknowledgment advanced, or first contact was made).
+func (n *Node) shipOne(fd *walFeed, sh *shipper) (advanced bool, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		req, ok := sh.next(fd, n.cfg.ID)
 		if !ok {
-			return nil // fully acked
+			return advanced, nil // nothing pending for this follower
 		}
 		addr, ok := n.addrOf(sh.follower)
 		if !ok {
-			return nil // follower not reachable through the table right now
+			return advanced, nil // follower not reachable through the table right now
 		}
 		var resp shipResp
 		if err := n.postJSON(addr, "/cluster/ship/"+sh.session, req, &resp); err != nil {
@@ -403,23 +469,89 @@ func (n *Node) shipOne(sh *shipper) error {
 				// The follower is reachable and refusing (poisoned
 				// replica, stale epoch): surface it — silence here would
 				// hide a permanently dead replication link.
-				return fmt.Errorf("cluster: ship %q to %s: %w", sh.session, sh.follower, err)
+				return advanced, fmt.Errorf("cluster: ship %q to %s: %w", sh.session, sh.follower, err)
 			}
-			return nil // unreachable follower: backlog stays pending
+			return advanced, nil // unreachable follower: backlog stays pending
 		}
-		prevAcked := sh.acked
-		sh.handleResp(resp)
+		first := !sh.contacted
+		sh.contacted = true
 		if resp.Gap {
-			if gapped {
-				return nil // a second gap in one round: give up until later
-			}
-			gapped = true
-			continue
+			// The follower could not apply this batch or catch up by
+			// snapshot right now; leave its backlog pending.
+			return advanced, nil
 		}
-		if sh.acked <= prevAcked && req.Snap == nil {
-			return nil // follower not advancing; avoid a hot loop
+		prev := sh.acked
+		if resp.Acked > sh.acked {
+			sh.acked = resp.Acked
+		}
+		sh.barrierSent = req.Barrier
+		if sh.acked > prev || first {
+			advanced = true
+		}
+		if sh.acked <= prev && !first {
+			return advanced, nil // follower not advancing; avoid a hot loop
 		}
 	}
+}
+
+// maybeCompact advances coordinated compaction for a led session, one
+// step per fully quiesced ship round. Truncation is gated on total
+// agreement — the feed has read everything the session applied and
+// every follower has acknowledged exactly that — so retiring sealed
+// segments can never cut records out from under a shipper or a lagging
+// replica. Step one writes a barrier record (shipped in-stream;
+// followers compact their own logs behind it); step two, a later round,
+// compacts the primary's log.
+func (n *Node) maybeCompact(id string, ps *primaryState, fd *walFeed, shs []*shipper) error {
+	n.mu.Lock()
+	ce := ps.cfg.CompactEvery
+	sharded := ps.cfg.sharded()
+	pending := ps.pendingBarrier
+	last := ps.lastCompact
+	n.mu.Unlock()
+	if ce <= 0 || sharded {
+		return nil
+	}
+	s, ok := n.mgr.Get(id)
+	if !ok {
+		return nil
+	}
+	seq := s.View().Seq()
+	if fd.endSeq() != seq {
+		return nil // feed behind the session; not quiesced
+	}
+	for _, sh := range shs {
+		sh.mu.Lock()
+		a := sh.acked
+		sh.mu.Unlock()
+		if a != seq {
+			return nil // a follower lags; truncating now could strand it
+		}
+	}
+	if pending > 0 {
+		// Every follower has acknowledged past the barrier (they are at
+		// seq >= pending): retire the primary's sealed prefix. The feed
+		// repositions itself at the fresh snapshot on its next pull.
+		if err := s.Compact(); err != nil {
+			return err
+		}
+		n.mu.Lock()
+		ps.lastCompact = pending
+		ps.pendingBarrier = 0
+		n.mu.Unlock()
+		return nil
+	}
+	if seq-last < ce {
+		return nil
+	}
+	bseq, err := s.MarkCompactBarrier()
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	ps.pendingBarrier = bseq
+	n.mu.Unlock()
+	return nil
 }
 
 // AckedOffsets reports, for a led session, every follower's
@@ -646,6 +778,7 @@ func (n *Node) handoff(id string, newPrimary Member) error {
 		ps.shippers[newPrimary.ID] = sh
 	}
 	cfg := ps.cfg
+	fd := ps.feed
 	n.mu.Unlock()
 
 	// Freeze writes. Close flushes and fsyncs the WAL, making it the
@@ -665,13 +798,13 @@ func (n *Node) handoff(id string, newPrimary Member) error {
 		return err
 	}
 
-	// Ship the closed log to completion.
-	if err := n.shipOne(sh); err != nil {
+	// Ship the closed log to completion through the shared feed.
+	if err := n.shipRounds(id, fd, []*shipper{sh}); err != nil {
 		return resume(err)
 	}
 	sh.mu.Lock()
-	caughtUp := !sh.pending()
 	acked := sh.acked
+	caughtUp := sh.contacted && acked == fd.endSeq()
 	sh.mu.Unlock()
 	if !caughtUp {
 		return resume(nil) // adoptee lagging or unreachable; retry later
@@ -721,16 +854,12 @@ func (n *Node) demote(id string, cfg SessionConfig, primary MemberID) error {
 }
 
 // hostsSession probes whether the member at addr currently serves the
-// session as primary (a non-hosting member answers its /v1 path with a
-// 404 or a redirect, never 200).
+// session as PRIMARY. It asks /cluster/holds — not the /v1 read path,
+// which a follower also answers 200 on (follower-served reads), so a
+// 200 there no longer distinguishes a leader from a warm replica.
 func (n *Node) hostsSession(addr, id string) bool {
-	resp, err := n.client.Get("http://" + addr + "/v1/sessions/" + id)
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode == http.StatusOK
+	leads, _, _ := n.holds(addr, id)
+	return leads
 }
 
 // promote turns a followed session into a led one through the existing
@@ -750,7 +879,7 @@ func (n *Node) promote(id string) error {
 	}
 	n.mu.Lock()
 	delete(n.followers, id)
-	n.primaries[id] = &primaryState{cfg: fs.cfg, shippers: make(map[MemberID]*shipper)}
+	n.primaries[id] = newPrimaryState(fs.cfg, n.cfg.ShipBacklog)
 	n.mu.Unlock()
 	n.syncShippers(id)
 	return nil

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/toca"
+)
+
+// noRedirect returns a client that surfaces 307s instead of following
+// them, so tests can see exactly which member served (or deflected) a
+// read.
+func noRedirect() *http.Client {
+	return &http.Client{
+		Timeout: 15 * time.Second,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+// getJSON GETs a URL and decodes the body, returning the response for
+// header/status inspection.
+func getJSON(t *testing.T, c *http.Client, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// TestFollowerServedReads: every read endpoint — status, assignment,
+// conflicts, metrics — answers 200 from a follower's warm replica view,
+// tagged X-Read-From: follower and carrying the applied seq, with
+// content identical to the single-process reference; the primary's
+// answers carry no follower tag.
+func TestFollowerServedReads(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	script := testScript(111, 30, 80)
+	session := "fr"
+	ri := h.createSession(session, SessionConfig{Strategies: clusterNames, SyncEvery: 1, SegmentBytes: 2048})
+	k := 80
+	h.applyEvents(session, script[:k])
+	h.shipAll()
+
+	c := noRedirect()
+	ref := refSession(t, script[:k])
+	refNet := ref.Engine().Network()
+
+	// Primary-served status: no follower tag.
+	resp := getJSON(t, c, "http://"+ri.Primary.Addr+"/v1/sessions/"+session, nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Read-From") != "" {
+		t.Fatalf("primary status: %s (X-Read-From %q)", resp.Status, resp.Header.Get("X-Read-From"))
+	}
+
+	for _, f := range ri.Followers {
+		base := "http://" + f.Addr + "/v1/sessions/" + session
+		var st struct {
+			Seq   int `json:"seq"`
+			Nodes int `json:"nodes"`
+		}
+		resp := getJSON(t, c, base, &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("follower %s status: %s", f.ID, resp.Status)
+		}
+		if resp.Header.Get("X-Read-From") != "follower" {
+			t.Fatalf("follower %s status not tagged as follower-served", f.ID)
+		}
+		if st.Seq != k {
+			t.Fatalf("follower %s serves seq %d, want %d", f.ID, st.Seq, k)
+		}
+		if st.Nodes != refNet.Size() {
+			t.Fatalf("follower %s serves %d nodes, want %d", f.ID, st.Nodes, refNet.Size())
+		}
+
+		// Full assignments, strategy by strategy, vs the reference.
+		for _, name := range clusterNames {
+			var out struct {
+				Seq    int            `json:"seq"`
+				Colors map[string]int `json:"colors"`
+			}
+			resp := getJSON(t, c, base+"/assignment?strategy="+name, &out)
+			if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Read-From") != "follower" {
+				t.Fatalf("follower %s assignment(%s): %s", f.ID, name, resp.Status)
+			}
+			rs, _ := ref.StrategyOf(sim.StrategyName(name))
+			want := rs.Assignment()
+			got := make(toca.Assignment, len(out.Colors))
+			for ids, col := range out.Colors {
+				id, _ := strconv.Atoi(ids)
+				got[graph.NodeID(id)] = toca.Color(col)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("follower %s %s assignment differs from reference", f.ID, name)
+			}
+		}
+
+		// Conflict neighborhoods match the reference digraph's.
+		for _, id := range refNet.Nodes()[:5] {
+			var out struct {
+				Conflicts []int `json:"conflicts"`
+			}
+			resp := getJSON(t, c, base+"/conflicts?node="+strconv.Itoa(int(id)), &out)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("follower %s conflicts(%d): %s", f.ID, id, resp.Status)
+			}
+			want := toca.ConflictNeighborsSorted(refNet.Graph(), id)
+			wantInts := make([]int, len(want))
+			for i, w := range want {
+				wantInts[i] = int(w)
+			}
+			got := out.Conflicts
+			if got == nil {
+				got = []int{}
+			}
+			if len(wantInts) == 0 {
+				wantInts = []int{}
+			}
+			if !reflect.DeepEqual(got, wantInts) {
+				t.Fatalf("follower %s conflicts of %d = %v, want %v", f.ID, id, got, wantInts)
+			}
+		}
+
+		// Metrics carry the seq tag too.
+		var mt struct {
+			Seq int `json:"seq"`
+		}
+		if resp := getJSON(t, c, base+"/metrics", &mt); resp.StatusCode != http.StatusOK || mt.Seq != k {
+			t.Fatalf("follower %s metrics: %s seq %d", f.ID, resp.Status, mt.Seq)
+		}
+	}
+}
+
+// TestRouteReadSpreads: /cluster/route?read=1 nominates read targets
+// round-robin across the whole owner set, not just the primary.
+func TestRouteReadSpreads(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	h.createSession("spread", SessionConfig{Strategies: clusterNames})
+	seen := map[MemberID]bool{}
+	for i := 0; i < 12; i++ {
+		var ri routeInfo
+		resp := getJSON(t, h.client, "http://"+h.anyAddr()+"/cluster/route?read=1&session=spread", &ri)
+		if resp.StatusCode != http.StatusOK || ri.Read == nil {
+			t.Fatalf("route?read=1: %s (read %v)", resp.Status, ri.Read)
+		}
+		seen[ri.Read.ID] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("read routes hit %d members, want the whole owner set (3)", len(seen))
+	}
+}
+
+// TestFollowerReadMinSeqWaits: a read demanding a seq the follower has
+// not applied yet blocks (bounded) and completes as soon as shipping
+// catches the replica up — bounded staleness, observable via the seq in
+// the response.
+func TestFollowerReadMinSeqWaits(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	script := testScript(113, 25, 60)
+	session := "wait"
+	ri := h.createSession(session, SessionConfig{Strategies: clusterNames, SyncEvery: 1})
+	k := 50
+	h.applyEvents(session, script[:k])
+	h.shipAll()
+	// New events the followers have not seen yet.
+	h.applyEvents(session, script[k:k+10])
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(100 * time.Millisecond)
+		h.shipAll()
+	}()
+	f := ri.Followers[0]
+	var st struct {
+		Seq int `json:"seq"`
+	}
+	resp := getJSON(t, noRedirect(), fmt.Sprintf("http://%s/v1/sessions/%s?min_seq=%d&wait_ms=5000", f.Addr, session, k+10), &st)
+	<-done
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("min_seq read after catch-up: %s", resp.Status)
+	}
+	if st.Seq < k+10 {
+		t.Fatalf("min_seq %d answered with seq %d", k+10, st.Seq)
+	}
+	if resp.Header.Get("X-Read-From") != "follower" {
+		t.Fatal("catch-up wait was not served by the follower")
+	}
+}
+
+// TestFollowerReadMinSeqRedirects: when the wait budget lapses and a
+// live primary exists, the follower hands the client over with a 307
+// instead of serving stale.
+func TestFollowerReadMinSeqRedirects(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	script := testScript(117, 25, 40)
+	session := "redir"
+	ri := h.createSession(session, SessionConfig{Strategies: clusterNames, SyncEvery: 1})
+	k := 40
+	h.applyEvents(session, script[:k])
+	h.shipAll()
+	h.applyEvents(session, script[k:k+5]) // primary-only tail
+
+	f := ri.Followers[0]
+	resp := getJSON(t, noRedirect(), fmt.Sprintf("http://%s/v1/sessions/%s?min_seq=%d&wait_ms=50", f.Addr, session, k+5), nil)
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("stale follower read: %s, want 307 to the primary", resp.Status)
+	}
+	if loc := resp.Header.Get("Location"); loc == "" || !containsAddr(loc, ri.Primary.Addr) {
+		t.Fatalf("redirect location %q does not name the primary %s", loc, ri.Primary.Addr)
+	}
+}
+
+func containsAddr(loc, addr string) bool {
+	return addr != "" && strings.Contains(loc, addr)
+}
+
+// TestMinSeqTimesOutCleanly: a min_seq beyond anything applied anywhere
+// times out with a bounded, retryable 503 — on the primary (there is
+// nothing fresher to redirect to) and on a follower whose primary is
+// dead (nowhere to hand over to).
+func TestMinSeqTimesOutCleanly(t *testing.T) {
+	h := newHarness(t, 2, 1)
+	script := testScript(119, 20, 30)
+	session := "timeout"
+	ri := h.createSession(session, SessionConfig{Strategies: clusterNames, SyncEvery: 1})
+	k := 30
+	h.applyEvents(session, script[:k])
+	h.shipAll()
+
+	// Primary: waits its budget, then 503s — never hangs, never lies.
+	start := time.Now()
+	resp := getJSON(t, noRedirect(), fmt.Sprintf("http://%s/v1/sessions/%s?min_seq=%d&wait_ms=100", ri.Primary.Addr, session, 1<<30), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unreachable min_seq on primary: %s, want 503", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("timeout response is not marked retryable")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("timeout took %v; the wait budget is not bounded", el)
+	}
+
+	// Follower with a dead primary: same clean timeout (no redirect
+	// target exists; the follower itself is now placement primary).
+	follower := ri.Followers[0]
+	h.crash(ri.Primary.ID)
+	h.tickAll(4) // declare the primary dead; do NOT reconcile/promote
+	resp = getJSON(t, noRedirect(), fmt.Sprintf("http://%s/v1/sessions/%s?min_seq=%d&wait_ms=100", follower.Addr, session, 1<<30), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unreachable min_seq on orphaned follower: %s, want 503", resp.Status)
+	}
+}
+
+// TestReadsNeverStaleAcrossFailover hammers reads with min_seq chaining
+// while a primary dies and a follower promotes. Every answer must be
+// one of: 200 with a seq the client has already reached or passed
+// (monotonic), 307 (handover), or 503 (retryable window — including
+// the promotion window itself). 404s and seq regressions are protocol
+// violations.
+func TestReadsNeverStaleAcrossFailover(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	script := testScript(127, 25, 70)
+	session := "mono"
+	ri := h.createSession(session, SessionConfig{Strategies: clusterNames, SyncEvery: 1})
+	k := 60
+	h.applyEvents(session, script[:k])
+	h.shipAll()
+
+	c := noRedirect()
+	lastSeen := 0
+	served := 0
+	read := func(addr string) {
+		t.Helper()
+		var st struct {
+			Seq int `json:"seq"`
+		}
+		resp := getJSON(t, c, fmt.Sprintf("http://%s/v1/sessions/%s?min_seq=%d&wait_ms=50", addr, session, lastSeen), &st)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if st.Seq < lastSeen {
+				t.Fatalf("seq regressed: saw %d after %d", st.Seq, lastSeen)
+			}
+			lastSeen = st.Seq
+			served++
+		case http.StatusTemporaryRedirect, http.StatusServiceUnavailable:
+			// handover or retryable window: fine
+		default:
+			t.Fatalf("read answered %s; only 200/307/503 are legal", resp.Status)
+		}
+	}
+
+	// Reads against every member before, during, and after the kill.
+	for _, m := range append([]Member{ri.Primary}, ri.Followers...) {
+		read(m.Addr)
+	}
+	h.crash(ri.Primary.ID)
+	for i := 0; i < 6; i++ {
+		h.tickAll(1)
+		for _, id := range h.order {
+			if !h.crashed[id] {
+				read(h.nodes[id].Addr())
+			}
+		}
+		if i == 3 {
+			h.reconcileAll() // promotion happens mid-hammer
+		}
+	}
+	h.reconcileAll()
+	for _, id := range h.order {
+		if !h.crashed[id] {
+			read(h.nodes[id].Addr())
+		}
+	}
+	if served == 0 {
+		t.Fatal("no read was ever served")
+	}
+	if lastSeen != k {
+		t.Fatalf("final observed seq %d, want the acked offset %d", lastSeen, k)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/serve"
@@ -24,12 +25,25 @@ type SessionConfig struct {
 	GridY          int      `json:"grid_y,omitempty"`
 	ArenaW         float64  `json:"arena_w,omitempty"`
 	ArenaH         float64  `json:"arena_h,omitempty"`
+	// CompactEvery asks the primary's node to run coordinated WAL
+	// compaction roughly every that many events: a barrier record is
+	// written and shipped, followers compact their own logs behind it,
+	// and the primary truncates once the fleet has acknowledged past
+	// the barrier. 0 disables (the log grows forever); engine-backed
+	// sessions only — sharded sessions recover by full-log replay and
+	// never truncate.
+	CompactEvery int `json:"compact_every,omitempty"`
+}
+
+// sharded mirrors serve.Config's backend selection rule.
+func (c SessionConfig) sharded() bool {
+	return c.ShardThreshold > 0 && c.ExpectedNodes >= c.ShardThreshold
 }
 
 // serveConfig materializes the serve.Config for this session. Cluster
-// sessions never compact: the WAL must stay an append-only record
-// stream for the shippers tailing it (sealed segments are still
-// retired only by compaction, which a cluster session never runs).
+// sessions never self-compact: truncation is coordinated by the node
+// (compaction barriers) so it can never race the shippers tailing the
+// log.
 func (c SessionConfig) serveConfig() serve.Config {
 	return serve.Config{
 		Strategies:     c.Strategies,
@@ -44,143 +58,231 @@ func (c SessionConfig) serveConfig() serve.Config {
 }
 
 // shipReq is one replication batch: the session's config (so a follower
-// can build or reopen its replica cold), the optional bootstrap
-// snapshot (present until the follower first acks), and events starting
-// at sequence From. Primary names the sender so followers know whom
-// they are following.
+// can build or reopen its replica cold), events starting at sequence
+// From, and the newest compaction-barrier sequence the primary has
+// logged (0 when none). Primary names the sender so followers know whom
+// they are following — and whom to fetch a catch-up snapshot from.
 type shipReq struct {
 	Session string              `json:"session"`
 	Primary MemberID            `json:"primary"`
 	Config  SessionConfig       `json:"config"`
-	Snap    *trace.Snapshot     `json:"snap,omitempty"`
 	From    int                 `json:"from"`
 	Events  []trace.EventRecord `json:"events"`
+	Barrier int                 `json:"barrier,omitempty"`
 }
 
 // shipResp acknowledges a batch: Acked is the follower's durable
-// sequence number; Gap asks the shipper to rewind to the start of the
-// log because the batch left a hole.
+// sequence number; Gap reports the follower could neither apply the
+// batch nor catch up by snapshot this round — the shipper retries
+// later.
 type shipResp struct {
 	Acked int  `json:"acked"`
 	Gap   bool `json:"gap,omitempty"`
 }
 
-// shipper replicates one session to one follower: it tails the
-// primary's segmented WAL with offset reads, buffers records until the
-// follower acknowledges them, and tracks the follower's acked offset.
-// A shipper's methods are serialized by its mutex; the node's ship loop
-// is the only steady-state caller.
+// maxShipEvents caps one ship request's event count: a follower behind
+// the stream catches up over several bounded requests instead of one
+// body holding the entire backlog.
+const maxShipEvents = 512
+
+// defaultFeedBacklog caps how many decoded event records a session's
+// feed keeps in memory for followers that have not acknowledged them.
+// A follower that falls further behind than the cache retains is caught
+// up by snapshot transfer instead — the primary never buffers a slow
+// follower's backlog unboundedly.
+const defaultFeedBacklog = 4096
+
+// walFeed is the shared fan-out point of one led session's replication:
+// ONE tailer reads the session's WAL (serve.TailWALLimit) and decodes
+// each record exactly once into a bounded in-memory window of wire
+// records; every follower's shipper is just a cursor into that window.
+// N followers therefore cost one file read and one encode per record,
+// not N. The feed also carries the stream's coordination state: the
+// newest compaction-barrier sequence seen (from barrier records, or
+// from a compaction snapshot at the log head after the feed
+// repositions).
+type walFeed struct {
+	mu      sync.Mutex
+	pos     serve.WALPos
+	seeded  bool // a snapshot record has established the seq cursor
+	readSeq int  // seq the next event record in the file stream carries
+	nextSeq int  // seq the next record appended to the window will carry
+	base    int  // seq of entries[0] (meaningful when len(entries) > 0)
+	entries []trace.EventRecord
+	barrier int // newest compaction-barrier seq (0: none)
+	cap     int
+}
+
+func newWALFeed(backlog int) *walFeed {
+	if backlog <= 0 {
+		backlog = defaultFeedBacklog
+	}
+	return &walFeed{cap: backlog}
+}
+
+// pull reads newly committed records into the window, up to the backlog
+// cap. A gap (the log was compacted past the feed's position) restarts
+// the read from the log's head, where the compaction snapshot re-seeds
+// the cursor; records already held in the window are never duplicated.
+func (fd *walFeed) pull(dir string) error {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	room := fd.cap - len(fd.entries)
+	if room <= 0 {
+		return nil
+	}
+	recs, pos, _, err := serve.TailWALLimit(dir, fd.pos, room)
+	if errors.Is(err, serve.ErrWALGap) {
+		fd.pos = serve.WALPos{}
+		fd.seeded = false
+		recs, pos, _, err = serve.TailWALLimit(dir, fd.pos, room)
+	}
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		switch {
+		case r.Snap != nil:
+			// Log head (bootstrap) or a compaction snapshot: every event
+			// at or below its seq is folded into it, and its position is
+			// an implicit barrier — a follower past it may truncate too.
+			fd.seeded = true
+			fd.readSeq = r.Snap.Seq + 1
+			fd.dropThroughLocked(r.Snap.Seq)
+			if fd.nextSeq < r.Snap.Seq+1 {
+				fd.nextSeq = r.Snap.Seq + 1
+			}
+			if fd.barrier < r.Snap.Seq {
+				fd.barrier = r.Snap.Seq
+			}
+		case r.Barrier != nil:
+			if fd.barrier < r.Barrier.Seq {
+				fd.barrier = r.Barrier.Seq
+			}
+		case r.Ev != nil:
+			if !fd.seeded {
+				return fmt.Errorf("cluster: wal %s: event record precedes any snapshot", dir)
+			}
+			seq := fd.readSeq
+			fd.readSeq++
+			if seq < fd.nextSeq {
+				continue // already in the window (re-read after a reposition)
+			}
+			if seq > fd.nextSeq {
+				return fmt.Errorf("cluster: wal %s: stream skips from seq %d to %d", dir, fd.nextSeq, seq)
+			}
+			ej, err := trace.EncodeEvent(*r.Ev)
+			if err != nil {
+				return err
+			}
+			if len(fd.entries) == 0 {
+				fd.base = seq
+			}
+			fd.entries = append(fd.entries, ej)
+			fd.nextSeq++
+		}
+	}
+	fd.pos = pos
+	return nil
+}
+
+// dropThroughLocked discards window entries with seq <= through.
+func (fd *walFeed) dropThroughLocked(through int) {
+	if len(fd.entries) == 0 {
+		return
+	}
+	drop := through - fd.base + 1
+	if drop <= 0 {
+		return
+	}
+	if drop >= len(fd.entries) {
+		fd.entries = nil
+		fd.base = 0
+		return
+	}
+	fd.entries = fd.entries[drop:]
+	fd.base = through + 1
+}
+
+// prune discards entries every current follower has acknowledged.
+func (fd *walFeed) prune(minAcked int) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	fd.dropThroughLocked(minAcked)
+}
+
+// window returns up to max events starting at sequence from, along
+// with the sequence of the first event returned. A follower whose
+// cursor precedes the window (its backlog was pruned, or it is brand
+// new against a long-retained log) gets the window's start instead —
+// the resulting gap makes the follower catch up by snapshot transfer.
+func (fd *walFeed) window(from, max int) ([]trace.EventRecord, int) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if len(fd.entries) == 0 || from >= fd.nextSeq {
+		return nil, from
+	}
+	if from < fd.base {
+		from = fd.base
+	}
+	evs := fd.entries[from-fd.base:]
+	if len(evs) > max {
+		evs = evs[:max]
+	}
+	return evs, from
+}
+
+// endSeq is the sequence of the newest record the feed has read.
+func (fd *walFeed) endSeq() int {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.nextSeq - 1
+}
+
+// barrierSeq is the newest compaction-barrier sequence seen (0: none).
+func (fd *walFeed) barrierSeq() int {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.barrier
+}
+
+// shipper replicates one session to one follower: a cursor over the
+// session's shared walFeed plus the follower's acknowledged offset.
+// All file reading and record decoding lives in the feed; the shipper
+// only slices the shared window into bounded batches. A shipper's
+// methods are serialized by its mutex; the node's ship loop is the only
+// steady-state caller.
 type shipper struct {
 	mu       sync.Mutex
 	session  string
 	follower MemberID
 	cfg      SessionConfig
 
-	pos     serve.WALPos        // WAL read position
-	nextSeq int                 // sequence the next event record read will carry
-	snap    *trace.Snapshot     // pending bootstrap snapshot (until first ack)
-	buf     []trace.EventRecord // read but not yet acked
-	bufFrom int                 // sequence of buf[0]
-	acked   int                 // follower's last acknowledged sequence
+	acked       int  // follower's last acknowledged sequence
+	contacted   bool // at least one successful exchange happened
+	barrierSent int  // newest barrier seq delivered to the follower
 }
 
 func newShipper(session string, follower MemberID, cfg SessionConfig) *shipper {
 	return &shipper{session: session, follower: follower, cfg: cfg}
 }
 
-// reset rewinds to the start of the log (fresh follower, or a gap
-// NACK): everything will be re-read and re-offered; the follower
-// deduplicates by sequence number.
-func (sh *shipper) reset() {
-	sh.pos = serve.WALPos{}
-	sh.nextSeq = 0
-	sh.snap = nil
-	sh.buf = nil
-	sh.bufFrom = 0
-}
-
-// pull reads newly committed records from the primary's WAL into the
-// unacked buffer.
-func (sh *shipper) pull(walDir string) error {
-	recs, pos, err := serve.TailWAL(walDir, sh.pos)
-	if errors.Is(err, serve.ErrWALGap) {
-		sh.reset()
-		return nil // next pull restarts from the oldest segment
-	}
-	if err != nil {
-		return err
-	}
-	for _, r := range recs {
-		if r.Snap != nil {
-			// The log's bootstrap snapshot (cluster sessions never
-			// compact, so it can only appear at the very start of a
-			// read-from-zero).
-			sh.snap = r.Snap
-			sh.nextSeq = r.Snap.Seq + 1
-			sh.buf = nil
-			sh.bufFrom = r.Snap.Seq + 1
-			continue
-		}
-		ej, err := trace.EncodeEvent(*r.Ev)
-		if err != nil {
-			return err
-		}
-		if len(sh.buf) == 0 {
-			sh.bufFrom = sh.nextSeq
-		}
-		sh.buf = append(sh.buf, ej)
-		sh.nextSeq++
-	}
-	sh.pos = pos
-	return nil
-}
-
-// pending reports whether the shipper holds records the follower has
-// not acknowledged.
-func (sh *shipper) pending() bool {
-	return sh.snap != nil || len(sh.buf) > 0
-}
-
-// maxShipEvents caps one ship request's event count: a follower far
-// behind (or freshly bootstrapped) catches up over several bounded
-// requests instead of one body holding the entire backlog.
-const maxShipEvents = 512
-
-// batch builds the next ship request, or false when there is nothing to
-// send.
-func (sh *shipper) batch(primary MemberID) (shipReq, bool) {
-	if !sh.pending() {
+// next builds the follower's next ship request from the shared feed, or
+// false when there is nothing to send: no unacknowledged events in the
+// window, a first contact already made, and no barrier news.
+func (sh *shipper) next(fd *walFeed, primary MemberID) (shipReq, bool) {
+	from := sh.acked + 1
+	evs, start := fd.window(from, maxShipEvents)
+	barrier := fd.barrierSeq()
+	if len(evs) == 0 && sh.contacted && barrier <= sh.barrierSent {
 		return shipReq{}, false
-	}
-	evs := sh.buf
-	if len(evs) > maxShipEvents {
-		evs = evs[:maxShipEvents]
 	}
 	return shipReq{
 		Session: sh.session,
 		Primary: primary,
 		Config:  sh.cfg,
-		Snap:    sh.snap,
-		From:    sh.bufFrom,
+		From:    start,
 		Events:  evs,
+		Barrier: barrier,
 	}, true
-}
-
-// handleResp folds a follower's acknowledgment into the buffer: acked
-// records are dropped, a gap rewinds to the start of the log.
-func (sh *shipper) handleResp(resp shipResp) {
-	if resp.Gap {
-		sh.reset()
-		return
-	}
-	sh.acked = resp.Acked
-	sh.snap = nil // an ack means the bootstrap snapshot landed
-	if drop := resp.Acked - (sh.bufFrom - 1); drop > 0 {
-		if drop >= len(sh.buf) {
-			sh.buf = nil
-		} else {
-			sh.buf = sh.buf[drop:]
-		}
-		sh.bufFrom = resp.Acked + 1
-	}
 }

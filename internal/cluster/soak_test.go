@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"testing"
 
 	"repro/internal/xrand"
@@ -9,10 +11,14 @@ import (
 
 // TestFailoverSoak kills the primary at a random event while a client
 // keeps writing over real HTTP, with shipping and gossip interleaved at
-// random cadence. After promotion the client re-resolves the route,
-// reads the promoted sequence number, and resumes from it; the finished
-// run must be bit-identical to an uncrashed single-process run of the
-// full script.
+// random cadence, and a READER riding along: every few batches it
+// resolves /cluster/route?read=1 (spreading reads across the owner
+// set, followers included) and reads the session status with its last
+// observed seq as min_seq — chained monotonic reads that must never
+// regress, through the kill and the promotion. After promotion the
+// writer re-resolves the route, reads the promoted sequence number, and
+// resumes from it; the finished run must be bit-identical to an
+// uncrashed single-process run of the full script.
 func TestFailoverSoak(t *testing.T) {
 	trials := 3
 	if testing.Short() {
@@ -25,6 +31,45 @@ func TestFailoverSoak(t *testing.T) {
 			script := testScript(200+uint64(trial), 30, 110)
 			session := fmt.Sprintf("soak-%d", trial)
 			ri := h.createSession(session, SessionConfig{Strategies: clusterNames, SyncEvery: 1, SegmentBytes: 2048})
+
+			// The monotonic reader: route?read=1 picks the serving
+			// member; min_seq chains what this client has already seen.
+			rc := noRedirect()
+			lastSeen, followerReads := 0, 0
+			monoRead := func() {
+				t.Helper()
+				var route routeInfo
+				resp := getJSON(t, h.client, "http://"+h.anyAddr()+"/cluster/route?read=1&session="+session, &route)
+				if resp.StatusCode != http.StatusOK || route.Read == nil {
+					return // no live members settled yet; fine mid-failover
+				}
+				url := fmt.Sprintf("http://%s/v1/sessions/%s?min_seq=%d&wait_ms=50", route.Read.Addr, session, lastSeen)
+				rresp, err := rc.Get(url)
+				if err != nil {
+					return // the routed member just died; a real client retries
+				}
+				defer rresp.Body.Close()
+				switch rresp.StatusCode {
+				case http.StatusOK:
+					var st struct {
+						Seq int `json:"seq"`
+					}
+					if err := json.NewDecoder(rresp.Body).Decode(&st); err != nil {
+						t.Fatal(err)
+					}
+					if st.Seq < lastSeen {
+						t.Fatalf("reader saw seq %d after %d", st.Seq, lastSeen)
+					}
+					lastSeen = st.Seq
+					if rresp.Header.Get("X-Read-From") == "follower" {
+						followerReads++
+					}
+				case http.StatusTemporaryRedirect, http.StatusServiceUnavailable:
+					// handover or retryable window: a real client retries
+				default:
+					t.Fatalf("reader got %s; only 200/307/503 are legal", rresp.Status)
+				}
+			}
 
 			killAt := 20 + rng.Intn(len(script)-40)
 			applied := 0
@@ -44,11 +89,17 @@ func TestFailoverSoak(t *testing.T) {
 					h.tickAll(1)
 					h.reconcileAll()
 				}
+				if rng.Float64() < 0.5 {
+					monoRead()
+				}
 			}
 
 			h.crash(ri.Primary.ID)
+			monoRead() // reads keep flowing through the failover window
 			h.tickAll(4)
+			monoRead()
 			h.reconcileAll()
+			monoRead()
 
 			pn := h.nodeHosting(session)
 			if pn.ID() == ri.Primary.ID {
@@ -65,6 +116,10 @@ func TestFailoverSoak(t *testing.T) {
 			}
 			h.applyEvents(session, script[seq:])
 			h.shipAll()
+			monoRead()
+			if followerReads == 0 {
+				t.Fatal("soak never exercised a follower-served read")
+			}
 			s, _ := pn.Manager().Get(session)
 			assertSessionEquals(t, "soak-final", s, refSession(t, script), len(script))
 		})

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// TestTailWALLimit: the bounded tail stops after the segment that
+// crosses the cap, reports more pending, and resuming from the returned
+// position yields exactly the remaining records — the shared feed's
+// bounded-backlog read pattern.
+func TestTailWALLimit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lim.wal")
+	w, err := createWAL(dir, trace.Snapshot{Version: trace.SnapshotVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.segmentBytes = 256
+	script := walScript(40)
+	for _, ev := range script {
+		if err := w.append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []trace.Record
+	pos := WALPos{}
+	rounds := 0
+	for {
+		recs, next, more, err := TailWALLimit(dir, pos, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, recs...)
+		pos = next
+		rounds++
+		if !more && len(recs) == 0 {
+			break
+		}
+		if !more {
+			break
+		}
+	}
+	if rounds < 3 {
+		t.Fatalf("limit 5 over %d records finished in %d rounds; cap not applied", len(script)+1, rounds)
+	}
+	full, _, err := TailWAL(dir, WALPos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(full) {
+		t.Fatalf("bounded reads collected %d records, full read %d", len(got), len(full))
+	}
+	evs := 0
+	for i, r := range got {
+		if r.Ev != nil {
+			if !reflect.DeepEqual(*r.Ev, script[evs]) {
+				t.Fatalf("record %d differs from script event %d", i, evs)
+			}
+			evs++
+		}
+	}
+	if evs != len(script) {
+		t.Fatalf("bounded reads yielded %d events, want %d", evs, len(script))
+	}
+}
+
+// snapshotTailBytes streams a WAL's newest-snapshot-onward committed
+// ranges the way the cluster snapshot endpoint does.
+func snapshotTailBytes(t *testing.T, dir string) (int, []byte) {
+	t.Helper()
+	plan, err := PlanSnapshotTail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tf := range plan.Files {
+		f, err := os.Open(tf.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.CopyN(&buf, f, tf.Committed); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return plan.Seq, buf.Bytes()
+}
+
+// TestSnapshotTailInstall: a compacted primary log streamed through
+// PlanSnapshotTail and installed with InstallReplica reconstructs the
+// primary's exact state — the snapshot catch-up transfer — and the
+// installed replica promotes into a session that continues correctly.
+func TestSnapshotTailInstall(t *testing.T) {
+	base, phase := testScript(53, 35, 90)
+	script := append(append([]strategy.Event(nil), base...), phase...)
+	primDir := t.TempDir()
+	primMgr := NewManager(primDir)
+	cfg := Config{Strategies: allNames, SyncEvery: 1, CompactEvery: 40, SegmentBytes: 2048}
+	s, err := primMgr.Create("cu", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 100
+	for _, ev := range script[:k] {
+		if err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Auto-compaction ran (CompactEvery=40 over 100 events), so the
+	// stream must start at a mid-log snapshot, not seq 0 — the whole
+	// point of catch-up is skipping the retired prefix.
+	walDir := filepath.Join(primDir, "cu.wal")
+	plan, err := PlanSnapshotTail(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seq != k {
+		t.Fatalf("plan ends at seq %d, want %d", plan.Seq, k)
+	}
+	seq, stream := snapshotTailBytes(t, walDir)
+	if seq != k {
+		t.Fatalf("stream seq %d, want %d", seq, k)
+	}
+	recs, _, err := trace.ReadRecords(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Snap == nil || recs[0].Snap.Seq == 0 {
+		t.Fatalf("stream starts with %+v; want a mid-log snapshot (compaction happened)", recs[0])
+	}
+
+	follMgr := NewManager(t.TempDir())
+	rep, err := follMgr.InstallReplica("cu", cfg, bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seq() != k {
+		t.Fatalf("installed replica at seq %d, want %d", rep.Seq(), k)
+	}
+	_, _, ref := refState(t, allNames, script[:k])
+	v := rep.View()
+	for _, name := range allNames {
+		rs, _ := ref.StrategyOf(sim.StrategyName(name))
+		got, _ := v.Assignment(name)
+		if !reflect.DeepEqual(got, rs.Assignment()) {
+			t.Fatalf("installed replica %s assignment differs", name)
+		}
+	}
+
+	// The installed log is a complete WAL: promotion and continuation
+	// behave exactly like a log-replayed follower's.
+	p, err := follMgr.Promote("cu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStateEquals(t, "installed-promoted", p, allNames, ref, k)
+	for _, ev := range script[k:] {
+		if err := p.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, full := refState(t, allNames, script)
+	assertStateEquals(t, "installed-continued", p, allNames, full, len(script))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstallReplicaReplacesBehindCopy: installing over an existing
+// (behind) replica swaps it wholesale for the fresher log.
+func TestInstallReplicaReplacesBehindCopy(t *testing.T) {
+	base, _ := testScript(59, 30, 0)
+	primDir := t.TempDir()
+	primMgr := NewManager(primDir)
+	cfg := Config{Strategies: allNames, SyncEvery: 1}
+	s, err := primMgr.Create("swap", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(primDir, "swap.wal")
+
+	// Follower bootstrapped at seq 0 and then left behind.
+	recs, _, err := TailWAL(walDir, WALPos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follMgr := NewManager(t.TempDir())
+	rep, err := follMgr.NewReplica("swap", cfg, *recs[0].Snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range base {
+		if err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seq() != 0 {
+		t.Fatalf("behind replica at %d, want 0", rep.Seq())
+	}
+
+	seq, stream := snapshotTailBytes(t, walDir)
+	rep2, err := follMgr.InstallReplica("swap", cfg, bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Seq() != seq || rep2.Seq() != len(base) {
+		t.Fatalf("reinstalled replica at %d, want %d", rep2.Seq(), len(base))
+	}
+	if rep.Live() {
+		t.Fatal("replaced replica still reports live")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaCompactBarrier: a replica past a shipped barrier logs the
+// barrier record and compacts its own WAL — one snapshot segment, no
+// event tail — and reopening it recovers the identical state; barriers
+// at or below the last honored one, or ahead of the applied seq, are
+// no-ops.
+func TestReplicaCompactBarrier(t *testing.T) {
+	base, _ := testScript(61, 25, 0)
+	primDir := t.TempDir()
+	primMgr := NewManager(primDir)
+	cfg := Config{Strategies: allNames, SyncEvery: 1, SegmentBytes: 1024}
+	s, err := primMgr.Create("bar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(primDir, "bar.wal")
+	recs, pos, err := TailWAL(walDir, WALPos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follMgr := NewManager(t.TempDir())
+	rep, err := follMgr.NewReplica("bar", cfg, *recs[0].Snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range base {
+		if err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, acked := shipAll(t, walDir, pos, 0, rep); acked != len(base) {
+		t.Fatalf("replica acked %d, want %d", acked, len(base))
+	}
+
+	// A barrier ahead of the applied seq is ignored.
+	if err := rep.CompactBarrier(len(base) + 10); err != nil {
+		t.Fatal(err)
+	}
+	follWAL := filepath.Join(follMgr.dir, "bar.wal")
+	if plan, err := PlanSnapshotTail(follWAL); err != nil || plan.Seq != len(base) {
+		t.Fatalf("premature barrier changed the log (plan %+v, err %v)", plan, err)
+	}
+	segsBefore, _ := listSegments(follWAL)
+	if len(segsBefore) < 2 {
+		t.Fatalf("expected a multi-segment follower log, got %v", segsBefore)
+	}
+
+	// The real barrier compacts: one snapshot-only segment remains.
+	if err := rep.CompactBarrier(len(base)); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(follWAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("follower log still holds segments %v after barrier compaction", segs)
+	}
+	plan, err := PlanSnapshotTail(follWAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seq != len(base) {
+		t.Fatalf("compacted follower log reconstructs seq %d, want %d", plan.Seq, len(base))
+	}
+	// Re-sending the same barrier is a no-op (no churn per batch).
+	if err := rep.CompactBarrier(len(base)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The compacted log still recovers the exact state.
+	if err := follMgr.CloseReplica("bar"); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := follMgr.OpenReplica("bar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ref := refState(t, allNames, base)
+	v := rep2.View()
+	for _, name := range allNames {
+		rs, _ := ref.StrategyOf(sim.StrategyName(name))
+		got, _ := v.Assignment(name)
+		if !reflect.DeepEqual(got, rs.Assignment()) {
+			t.Fatalf("%s assignment differs after barrier compaction + reopen", name)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionBarrierThenCompact: MarkCompactBarrier writes a readable
+// barrier record at the current seq (tailers see it in-stream; replay
+// skips it), and the explicit Compact retires everything into one
+// snapshot segment.
+func TestSessionBarrierThenCompact(t *testing.T) {
+	base, _ := testScript(67, 20, 0)
+	dir := t.TempDir()
+	mgr := NewManager(dir)
+	cfg := Config{Strategies: allNames, SyncEvery: 1, CompactEvery: -1, SegmentBytes: 1024}
+	s, err := mgr.Create("mark", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range base {
+		if err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bseq, err := s.MarkCompactBarrier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bseq != len(base) {
+		t.Fatalf("barrier at seq %d, want %d", bseq, len(base))
+	}
+	walDir := filepath.Join(dir, "mark.wal")
+	recs, _, err := TailWAL(walDir, WALPos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.Barrier != nil && r.Barrier.Seq == bseq {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("barrier record not visible to a WAL tailer")
+	}
+
+	// More events after the barrier, then the explicit compaction.
+	extra := walScript(5)
+	applied := 0
+	for _, ev := range extra {
+		if err := s.Apply(ev); err == nil {
+			applied++
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("log still holds segments %v after Compact", segs)
+	}
+	// The compacted log replays to the same continued state.
+	if err := mgr.Close("mark"); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := mgr.Open("mark", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.View().Seq(); got != len(base)+applied {
+		t.Fatalf("recovered seq %d, want %d", got, len(base)+applied)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstallWALCrashLeftovers: openWAL restores a log parked at .old
+// by a crashed install and clears a stale .install directory.
+func TestInstallWALCrashLeftovers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "crash.wal")
+	w, err := createWAL(dir, trace.Snapshot{Version: trace.SnapshotVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := walScript(5)
+	for _, ev := range script {
+		if err := w.append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between InstallWAL's two renames: the live dir
+	// is parked at .old, the half-written install dir remains.
+	if err := os.Rename(dir, dir+installOldSuffix); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir+installNewSuffix, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, tail, r, err := openWAL(dir)
+	if err != nil {
+		t.Fatalf("openWAL did not restore the parked log: %v", err)
+	}
+	r.abort()
+	if len(tail) != len(script) {
+		t.Fatalf("restored %d events, want %d", len(tail), len(script))
+	}
+	if _, err := os.Stat(dir + installNewSuffix); !os.IsNotExist(err) {
+		t.Fatal("stale .install directory survived open")
+	}
+
+	// The other crash point: the final rename completed but the parked
+	// old log was never deleted. With the live dir present, open must
+	// retire the superseded .old copy (it would otherwise waste a whole
+	// log of disk and could be resurrected as authoritative later).
+	if err := os.MkdirAll(dir+installOldSuffix, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, tail, r, err = openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.abort()
+	if len(tail) != len(script) {
+		t.Fatalf("restored %d events, want %d", len(tail), len(script))
+	}
+	if _, err := os.Stat(dir + installOldSuffix); !os.IsNotExist(err) {
+		t.Fatal("superseded .old directory survived open with a live dir present")
+	}
+}

@@ -71,22 +71,48 @@
 // recover by replaying the whole log through a fresh coordinator, the
 // shard.Replay contract.
 //
+// Beyond records and events, the log carries compaction-barrier
+// records (trace.Barrier): markers that do not advance the sequence
+// number and are skipped on replay. A replicated primary writes one
+// (Session.MarkCompactBarrier) before an explicit Session.Compact so
+// the stream tells every follower where to truncate its own log
+// (Replica.CompactBarrier); see docs/wal.md for the full on-disk
+// contract. For catch-up transfers, PlanSnapshotTail exposes the
+// committed byte ranges from the newest snapshot onward — they
+// concatenate into a valid single-segment log — and InstallWAL
+// installs such a stream crash-safely in place of an existing
+// directory (Manager.InstallReplica wraps both ends for replicas).
+//
 // # Replicas: the follower half of the cluster story
 //
-// A Replica (Manager.NewReplica / Manager.OpenReplica) is a session's
-// continuously recovering standby on another process: it has no writer
-// mailbox — Offer appends shipped records to the replica's own local
-// WAL, applies them through the same recoding path for a warm,
-// lock-free-readable state, fsyncs, and only then acknowledges the new
-// offset, so an acked offset is a durability promise. Offer
-// deduplicates shipper retries by sequence number and rejects gaps with
-// ErrReplicaGap. Manager.Promote turns a replica into a live primary by
-// running the existing crash-recovery path over the replica's WAL: the
-// promoted session is bit-identical to the old primary at the
-// acknowledged offset (events beyond it — the primary's unacked tail
-// and mailbox residue — are lost, exactly as a single-process crash
-// loses its unflushed tail). Placement, shipping, and failover
-// orchestration live in internal/cluster.
+// A Replica (Manager.NewReplica / Manager.OpenReplica /
+// Manager.InstallReplica) is a session's continuously recovering
+// standby on another process: it has no writer mailbox — Offer appends
+// shipped records to the replica's own local WAL, applies them through
+// the same recoding path for a warm, lock-free-readable state, fsyncs,
+// and only then acknowledges the new offset, so an acked offset is a
+// durability promise. Offer deduplicates shipper retries by sequence
+// number and rejects gaps with ErrReplicaGap (the cluster layer
+// resolves a gap by snapshot catch-up: fetch the primary's newest
+// snapshot tail and InstallReplica it). Manager.Promote turns a
+// replica into a live primary by running the existing crash-recovery
+// path over the replica's WAL: the promoted session is bit-identical
+// to the old primary at the acknowledged offset (events beyond it —
+// the primary's unacked tail and mailbox residue — are lost, exactly
+// as a single-process crash loses its unflushed tail).
+//
+// Replicas are read capacity as well as durability: View returns the
+// same lock-free snapshot a primary's readers use, kept warm by every
+// Offer, and Live reports whether the replica still serves (false the
+// moment a promotion or decommission closes it — the follower read
+// path checks it so a request racing a failover gets a retryable
+// rejection, never a frozen stale view). The HTTP read renderers
+// (RenderStatus, RenderAssignment, RenderConflicts, RenderMetrics)
+// operate on a bare View so the cluster front end serves the identical
+// read API — same JSON shapes, same seq tagging — from a follower.
+// Placement, shipping, failover orchestration, and the follower-read
+// staleness contract (min_seq, wait-or-redirect) live in
+// internal/cluster.
 //
 // # Front ends
 //

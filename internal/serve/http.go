@@ -135,10 +135,13 @@ func listSessions(m *Manager, w http.ResponseWriter) {
 }
 
 func sessionStatus(s *Session) map[string]interface{} {
-	v := s.View()
+	return statusPayload(s.ID(), s.View())
+}
+
+func statusPayload(id string, v *View) map[string]interface{} {
 	return map[string]interface{}{
-		"id":         s.ID(),
-		"strategies": s.Strategies(),
+		"id":         id,
+		"strategies": v.Strategies(),
 		"seq":        v.Seq(),
 		"nodes":      v.NodeCount(),
 	}
@@ -146,6 +149,99 @@ func sessionStatus(s *Session) map[string]interface{} {
 
 func statusSession(s *Session, w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, sessionStatus(s))
+}
+
+// RenderStatus, RenderAssignment, RenderConflicts, and RenderMetrics
+// answer the read endpoints from a bare View — the session handlers
+// above go through them, and the cluster front end reuses them to serve
+// the same read API from a follower replica's warm view (same JSON
+// shapes, same seq tagging, no Session required).
+
+// RenderStatus writes the session-status payload for a view.
+func RenderStatus(w http.ResponseWriter, id string, v *View) {
+	writeJSON(w, http.StatusOK, statusPayload(id, v))
+}
+
+// RenderAssignment answers an assignment read (?strategy=, ?node=)
+// from a view.
+func RenderAssignment(w http.ResponseWriter, r *http.Request, v *View) {
+	name := r.URL.Query().Get("strategy")
+	if name == "" {
+		if names := v.Strategies(); len(names) > 0 {
+			name = names[0]
+		}
+	}
+	if nodeQ := r.URL.Query().Get("node"); nodeQ != "" {
+		id, err := strconv.Atoi(nodeQ)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		c, ok := v.ColorOf(name, graph.NodeID(id))
+		if _, hosted := v.MetricsOf(name); !hosted {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("strategy %q not hosted", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"seq": v.Seq(), "strategy": name, "node": id, "color": int(c), "assigned": ok,
+		})
+		return
+	}
+	a, ok := v.Assignment(name)
+	if !ok {
+		httpErr(w, http.StatusNotFound, fmt.Errorf("strategy %q not hosted", name))
+		return
+	}
+	colors := make(map[string]int, len(a))
+	for id, c := range a {
+		colors[strconv.Itoa(int(id))] = int(c)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"seq": v.Seq(), "strategy": name, "max_color": int(a.MaxColor()), "colors": colors,
+	})
+}
+
+// RenderConflicts answers a conflict-neighborhood read (?node=) from a
+// view.
+func RenderConflicts(w http.ResponseWriter, r *http.Request, v *View) {
+	id, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("node query parameter: %w", err))
+		return
+	}
+	if _, ok := v.Config(graph.NodeID(id)); !ok {
+		httpErr(w, http.StatusNotFound, fmt.Errorf("node %d not in network", id))
+		return
+	}
+	ns := v.ConflictNeighbors(graph.NodeID(id))
+	ints := make([]int, len(ns))
+	for i, n := range ns {
+		ints[i] = int(n)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"seq": v.Seq(), "node": id, "conflicts": ints})
+}
+
+// RenderMetrics answers a per-strategy metrics read from a view.
+func RenderMetrics(w http.ResponseWriter, v *View) {
+	type row struct {
+		Strategy       string `json:"strategy"`
+		Events         int    `json:"events"`
+		TotalRecodings int    `json:"total_recodings"`
+		MaxColor       int    `json:"max_color"`
+		PeakMaxColor   int    `json:"peak_max_color"`
+	}
+	rows := make([]row, 0, len(v.Strategies()))
+	for _, name := range v.Strategies() {
+		m, _ := v.MetricsOf(name)
+		rows = append(rows, row{
+			Strategy:       name,
+			Events:         m.Events,
+			TotalRecodings: m.TotalRecodings,
+			MaxColor:       int(m.MaxColor),
+			PeakMaxColor:   int(m.PeakMaxColor),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"seq": v.Seq(), "nodes": v.NodeCount(), "strategies": rows})
 }
 
 // eventsReq carries a batch of events in the trace wire encoding.
@@ -193,81 +289,15 @@ func applyEvents(s *Session, w http.ResponseWriter, r *http.Request) {
 }
 
 func readAssignment(s *Session, w http.ResponseWriter, r *http.Request) {
-	v := s.View()
-	name := r.URL.Query().Get("strategy")
-	if name == "" {
-		name = s.Strategies()[0]
-	}
-	if nodeQ := r.URL.Query().Get("node"); nodeQ != "" {
-		id, err := strconv.Atoi(nodeQ)
-		if err != nil {
-			httpErr(w, http.StatusBadRequest, err)
-			return
-		}
-		c, ok := v.ColorOf(name, graph.NodeID(id))
-		if _, hosted := v.MetricsOf(name); !hosted {
-			httpErr(w, http.StatusNotFound, fmt.Errorf("strategy %q not hosted", name))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"seq": v.Seq(), "strategy": name, "node": id, "color": int(c), "assigned": ok,
-		})
-		return
-	}
-	a, ok := v.Assignment(name)
-	if !ok {
-		httpErr(w, http.StatusNotFound, fmt.Errorf("strategy %q not hosted", name))
-		return
-	}
-	colors := make(map[string]int, len(a))
-	for id, c := range a {
-		colors[strconv.Itoa(int(id))] = int(c)
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"seq": v.Seq(), "strategy": name, "max_color": int(a.MaxColor()), "colors": colors,
-	})
+	RenderAssignment(w, r, s.View())
 }
 
 func readConflicts(s *Session, w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.URL.Query().Get("node"))
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, fmt.Errorf("node query parameter: %w", err))
-		return
-	}
-	v := s.View()
-	if _, ok := v.Config(graph.NodeID(id)); !ok {
-		httpErr(w, http.StatusNotFound, fmt.Errorf("node %d not in network", id))
-		return
-	}
-	ns := v.ConflictNeighbors(graph.NodeID(id))
-	ints := make([]int, len(ns))
-	for i, n := range ns {
-		ints[i] = int(n)
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"seq": v.Seq(), "node": id, "conflicts": ints})
+	RenderConflicts(w, r, s.View())
 }
 
 func readMetrics(s *Session, w http.ResponseWriter, _ *http.Request) {
-	v := s.View()
-	type row struct {
-		Strategy       string `json:"strategy"`
-		Events         int    `json:"events"`
-		TotalRecodings int    `json:"total_recodings"`
-		MaxColor       int    `json:"max_color"`
-		PeakMaxColor   int    `json:"peak_max_color"`
-	}
-	rows := make([]row, 0, len(v.Strategies()))
-	for _, name := range v.Strategies() {
-		m, _ := v.MetricsOf(name)
-		rows = append(rows, row{
-			Strategy:       name,
-			Events:         m.Events,
-			TotalRecodings: m.TotalRecodings,
-			MaxColor:       int(m.MaxColor),
-			PeakMaxColor:   int(m.PeakMaxColor),
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"seq": v.Seq(), "nodes": v.NodeCount(), "strategies": rows})
+	RenderMetrics(w, s.View())
 }
 
 // watchSession streams deltas as JSON lines until the client leaves or

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -39,6 +40,10 @@ type Replica struct {
 	s      *Session // unstarted: backend + WAL, no writer goroutine
 	path   string
 	closed bool
+	// compacted is the seq of the last compaction barrier honored, so a
+	// primary re-sending its latest barrier does not trigger a fresh
+	// compaction per batch.
+	compacted int
 	// promoteMu serializes Promote attempts (a retry after a transient
 	// failure must not race a concurrent promotion over the same WAL).
 	promoteMu sync.Mutex
@@ -59,6 +64,53 @@ func (r *Replica) Seq() int {
 // serve reads from it exactly as a primary would; never nil, never
 // blocks.
 func (r *Replica) View() *View { return r.s.view.Load() }
+
+// Live reports whether the replica still serves reads. It turns false
+// the moment a promotion or decommission closes the replica — the
+// follower read path checks it so a request racing a failover gets a
+// retryable rejection instead of a frozen, soon-to-be-stale view.
+func (r *Replica) Live() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.closed && r.s.err == nil
+}
+
+// CompactBarrier honors a shipped compaction barrier: once the replica
+// has applied through seq, it logs the barrier to its own WAL and
+// compacts it — snapshot of the current state, sealed predecessors
+// retired — mirroring the primary-side truncation. Barriers at or below
+// the last honored one, or ahead of the replica's applied sequence, are
+// ignored (the primary re-sends its latest barrier until the follower
+// passes it). Sharded replicas ignore barriers entirely: their recovery
+// contract is full-log replay, so their logs must stay complete.
+func (r *Replica) CompactBarrier(seq int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	s := r.s
+	if s.err != nil {
+		return s.err
+	}
+	if s.coord != nil || s.wal == nil || seq <= r.compacted || s.seq < seq {
+		return nil
+	}
+	if err := s.wal.appendBarrier(seq); err != nil {
+		s.poison(err)
+		return err
+	}
+	snap, err := trace.CaptureSnapshot(s.seq, s.stateNetwork(), s.cfg.Strategies, s.stateAssignments(), s.metrics)
+	if err != nil {
+		return err
+	}
+	if err := s.wal.compact(snap); err != nil {
+		s.poison(err)
+		return err
+	}
+	r.compacted = seq
+	return nil
+}
 
 // Offer appends and applies shipped event records. from is the sequence
 // number of the first event in evs; events at or below the replica's
@@ -223,6 +275,61 @@ func (m *Manager) OpenReplica(id string, cfg Config) (*Replica, error) {
 		return nil, err
 	}
 	r := &Replica{s: s, path: path}
+	m.replicas[id] = r
+	return r, nil
+}
+
+// InstallReplica builds (or rebuilds) a follower replica from a
+// streamed WAL — the snapshot catch-up path: src is a PlanSnapshotTail
+// transfer from the session's primary (snapshot record + committed
+// event tail), installed atomically in place of whatever log the
+// follower held, then recovered through the same code path a promotion
+// runs. A replica already registered under the ID is closed and
+// replaced: catch-up only runs when the local copy is too far behind
+// the primary's retained log to ship forward.
+func (m *Manager) InstallReplica(id string, cfg Config, src io.Reader) (*Replica, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	if m.dir == "" {
+		return nil, fmt.Errorf("serve: manager has no WAL directory for replica %q", id)
+	}
+	cfg = replicaConfig(cfg)
+	m.mu.Lock()
+	if _, ok := m.sessions[id]; ok {
+		m.mu.Unlock()
+		return nil, ErrSessionExists
+	}
+	old := m.replicas[id]
+	delete(m.replicas, id)
+	m.mu.Unlock()
+	if old != nil {
+		if err := old.close(false); err != nil && !errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+	}
+	path, err := m.walPath(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := InstallWAL(path, src); err != nil {
+		return nil, err
+	}
+	s, err := buildSession(id, cfg, path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{s: s, path: path}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; ok {
+		r.close(false)
+		return nil, ErrSessionExists
+	}
+	if _, ok := m.replicas[id]; ok {
+		r.close(false)
+		return nil, ErrReplicaExists
+	}
 	m.replicas[id] = r
 	return r, nil
 }

@@ -449,6 +449,67 @@ func (s *Session) InspectState(fn func(net *adhoc.Network, assigns []toca.Assign
 	})
 }
 
+// MarkCompactBarrier appends a compaction-barrier record at the
+// session's current sequence number and flushes it to the log. The
+// record is the first half of replicated compaction (package cluster):
+// it travels the WAL stream to every follower, telling each to compact
+// its own log once it has applied through the returned seq; the primary
+// itself compacts later, via Compact, once its followers have
+// acknowledged past the barrier. Durable sessions only.
+func (s *Session) MarkCompactBarrier() (int, error) {
+	var (
+		seq  int
+		ferr error
+	)
+	err := s.inspect(func(*inspectState) {
+		if s.wal == nil {
+			ferr = fmt.Errorf("serve: session %q has no WAL to mark a barrier in", s.id)
+			return
+		}
+		seq = s.seq
+		if err := s.wal.appendBarrier(seq); err != nil {
+			s.poison(err)
+			ferr = err
+			return
+		}
+		if err := s.wal.flush(); err != nil {
+			s.poison(err)
+			ferr = err
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return seq, ferr
+}
+
+// Compact captures the session's current state as a fresh snapshot
+// segment and retires every sealed segment it supersedes — the explicit
+// form of the CompactEvery auto-compaction, for callers (the cluster
+// compaction coordinator) that must gate truncation on replication
+// progress. Engine-backed durable sessions only: sharded sessions
+// recover by full-log replay and must keep their history.
+func (s *Session) Compact() error {
+	var ferr error
+	err := s.inspect(func(*inspectState) {
+		switch {
+		case s.wal == nil:
+			ferr = fmt.Errorf("serve: session %q has no WAL to compact", s.id)
+		case s.eng == nil:
+			ferr = fmt.Errorf("serve: sharded session %q cannot compact its WAL", s.id)
+		default:
+			if err := s.compact(); err != nil {
+				s.poison(err)
+				ferr = err
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return ferr
+}
+
 // inspect runs fn on the writer goroutine against quiesced state.
 func (s *Session) inspect(fn func(*inspectState)) error {
 	res := make(chan error, 1)

@@ -178,12 +178,28 @@ func openWAL(dir string) (trace.Snapshot, []strategy.Event, *wal, error) {
 		return trace.Snapshot{}, nil, nil, err
 	}
 	fi, err := os.Stat(dir)
+	if os.IsNotExist(err) {
+		// A snapshot install that crashed between its two renames leaves
+		// the previous log parked at dir+".old"; restore it — the old
+		// copy is stale but it is the only one.
+		if _, serr := os.Stat(dir + installOldSuffix); serr == nil {
+			if rerr := os.Rename(dir+installOldSuffix, dir); rerr != nil {
+				return fail(rerr)
+			}
+			fi, err = os.Stat(dir)
+		}
+	}
 	if err != nil {
 		return fail(err)
 	}
 	if !fi.IsDir() {
 		return fail(fmt.Errorf("serve: wal %s is not a segment directory", dir))
 	}
+	// Leftovers of a crashed install: the half-written new log, and —
+	// since dir exists, meaning the install's final rename completed —
+	// the parked, superseded previous log.
+	os.RemoveAll(dir + installNewSuffix)
+	os.RemoveAll(dir + installOldSuffix)
 	cleanTemps(dir)
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -252,6 +268,11 @@ func openWAL(dir string) (trace.Snapshot, []strategy.Event, *wal, error) {
 				tail = tail[:0]
 				continue
 			}
+			if r.Barrier != nil {
+				// Compaction barriers are coordination markers, not
+				// state: replay skips them.
+				continue
+			}
 			if snap == nil {
 				return fail(fmt.Errorf("serve: wal %s: record %d precedes any snapshot", p, j))
 			}
@@ -297,6 +318,18 @@ func (w *wal) append(ev strategy.Event) error {
 		return w.sync()
 	}
 	return nil
+}
+
+// appendBarrier logs one compaction-barrier record. Barriers are
+// markers, not events: they do not count toward the snapshot tail or
+// the SyncEvery cadence (the caller flushes explicitly).
+func (w *wal) appendBarrier(seq int) error {
+	if w.segmentBytes > 0 && w.size >= w.segmentBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	return w.write(func(out io.Writer) error { return trace.WriteBarrierRecord(out, seq) })
 }
 
 // rotate seals the active segment (flush + fsync + close) and starts
@@ -433,23 +466,36 @@ var ErrWALGap = errors.New("serve: wal position precedes the oldest segment")
 // "not yet committed" and is picked up by a later call. This is the
 // read path WAL shipping (package cluster) tails a primary's log with.
 func TailWAL(dir string, pos WALPos) ([]trace.Record, WALPos, error) {
+	recs, pos, _, err := TailWALLimit(dir, pos, 0)
+	return recs, pos, err
+}
+
+// TailWALLimit is TailWAL with a soft record cap: once at least limit
+// records have been read, no further segment is opened and more=true
+// reports the remainder is still pending (limit 0 disables the cap).
+// The cap is per-segment granular — one call may return up to a
+// segment's worth of records beyond limit — which is what bounds a
+// replication feed's in-memory backlog without re-reading files.
+func TailWALLimit(dir string, pos WALPos, limit int) (recs []trace.Record, end WALPos, more bool, err error) {
 	segs, err := listSegments(dir)
 	if err != nil {
-		return nil, pos, err
+		return nil, pos, false, err
 	}
 	if len(segs) == 0 {
-		return nil, pos, fmt.Errorf("serve: wal %s has no segments", dir)
+		return nil, pos, false, fmt.Errorf("serve: wal %s has no segments", dir)
 	}
 	if pos.Seg == 0 {
 		pos = WALPos{Seg: segs[0]}
 	}
 	if pos.Seg < segs[0] {
-		return nil, pos, ErrWALGap
+		return nil, pos, false, ErrWALGap
 	}
-	var out []trace.Record
 	for _, idx := range segs {
 		if idx < pos.Seg {
 			continue
+		}
+		if limit > 0 && len(recs) >= limit {
+			return recs, pos, true, nil
 		}
 		off := int64(0)
 		if idx == pos.Seg {
@@ -457,17 +503,146 @@ func TailWAL(dir string, pos WALPos) ([]trace.Record, WALPos, error) {
 		}
 		f, err := os.Open(filepath.Join(dir, segName(idx)))
 		if err != nil {
-			return nil, pos, err
+			return nil, pos, false, err
 		}
-		recs, end, err := trace.ReadRecordsAt(f, off)
+		got, end, err := trace.ReadRecordsAt(f, off)
 		f.Close()
 		if err != nil {
-			return nil, pos, err
+			return nil, pos, false, err
 		}
-		out = append(out, recs...)
+		recs = append(recs, got...)
 		pos = WALPos{Seg: idx, Off: end}
 	}
-	return out, pos, nil
+	return recs, pos, false, nil
+}
+
+// TailFile is one committed byte range of a WAL segment file.
+type TailFile struct {
+	Path      string
+	Committed int64
+}
+
+// TailPlan describes a WAL's newest snapshot and everything committed
+// after it: the byte ranges to stream (snapshot record first, then the
+// event tail, barriers included) and the sequence number the stream
+// ends at. Concatenated, the ranges form one valid single-segment WAL —
+// the transfer unit of snapshot catch-up (package cluster): a follower
+// installs the stream as a fresh log and recovers from it instead of
+// replaying the primary's full history.
+type TailPlan struct {
+	Seq   int
+	Files []TailFile
+}
+
+// PlanSnapshotTail computes the TailPlan of a session's WAL. Safe
+// beside a live writer for the same reason TailWAL is; the caller
+// streams the planned ranges and the receiver verifies the installed
+// sequence number against Seq (a file retired by a concurrent
+// compaction surfaces as a copy error or a seq mismatch, never as a
+// silently short log).
+func PlanSnapshotTail(dir string) (TailPlan, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return TailPlan{}, err
+	}
+	if len(segs) == 0 {
+		return TailPlan{}, fmt.Errorf("serve: wal %s has no segments", dir)
+	}
+	snapSeg := -1
+	for i := len(segs) - 1; i >= 0; i-- {
+		if startsWithSnapshot(filepath.Join(dir, segName(segs[i]))) {
+			snapSeg = segs[i]
+			break
+		}
+	}
+	if snapSeg < 0 {
+		return TailPlan{}, fmt.Errorf("serve: wal %s holds no snapshot", dir)
+	}
+	plan := TailPlan{}
+	seq := 0
+	for _, idx := range segs {
+		if idx < snapSeg {
+			continue
+		}
+		p := filepath.Join(dir, segName(idx))
+		f, err := os.Open(p)
+		if err != nil {
+			return TailPlan{}, err
+		}
+		recs, committed, err := trace.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			return TailPlan{}, fmt.Errorf("serve: wal %s: %w", p, err)
+		}
+		for _, r := range recs {
+			switch {
+			case r.Snap != nil:
+				seq = r.Snap.Seq
+			case r.Ev != nil:
+				seq++
+			}
+		}
+		plan.Files = append(plan.Files, TailFile{Path: p, Committed: committed})
+	}
+	plan.Seq = seq
+	return plan, nil
+}
+
+// Suffixes of InstallWAL's transient sibling directories.
+const (
+	installNewSuffix = ".install"
+	installOldSuffix = ".old"
+)
+
+// InstallWAL replaces a session's WAL directory with a log streamed
+// from r (a PlanSnapshotTail transfer), installed as one segment file.
+// The install is crash-safe: the stream lands in a temp directory and
+// is fsynced before any rename; the previous log is parked aside and
+// deleted only after the new one is in place, and openWAL restores the
+// parked copy if a crash strands it. The caller must hold the session
+// exclusively (no live writer or replica over dir).
+func InstallWAL(dir string, r io.Reader) error {
+	tmp := dir + installNewSuffix
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(tmp, segName(1)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		os.RemoveAll(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.RemoveAll(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.RemoveAll(tmp)
+		return err
+	}
+	syncDir(tmp)
+	old := dir + installOldSuffix
+	if err := os.RemoveAll(old); err != nil {
+		return err
+	}
+	if _, err := os.Stat(dir); err == nil {
+		if err := os.Rename(dir, old); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(dir))
+	os.RemoveAll(old)
+	return nil
 }
 
 // lastSegmentPath returns the path of a log's active (last) segment —

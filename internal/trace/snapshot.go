@@ -191,16 +191,28 @@ func (s Snapshot) validate() error {
 	return nil
 }
 
-// walRecord is one WAL line: exactly one of Snap or Ev is set.
+// Barrier is a compaction-barrier record: a marker a primary appends to
+// its WAL (and ships in-stream to its followers) announcing that the
+// log's prefix through Seq is about to be compacted into a snapshot.
+// Barriers carry no state — they do not advance the event sequence and
+// replay ignores them — they only coordinate when both sides of a
+// replicated session may truncate sealed segments.
+type Barrier struct {
+	Seq int `json:"seq"`
+}
+
+// walRecord is one WAL line: exactly one of Snap, Ev, or Bar is set.
 type walRecord struct {
 	Snap *Snapshot    `json:"snap,omitempty"`
 	Ev   *EventRecord `json:"ev,omitempty"`
+	Bar  *Barrier     `json:"barrier,omitempty"`
 }
 
 // Record is one decoded WAL record.
 type Record struct {
-	Snap *Snapshot
-	Ev   *strategy.Event
+	Snap    *Snapshot
+	Ev      *strategy.Event
+	Barrier *Barrier
 }
 
 // WriteSnapshotRecord appends one snapshot record line to w.
@@ -218,6 +230,14 @@ func WriteEventRecord(w io.Writer, ev strategy.Event) error {
 		return fmt.Errorf("trace: %w", err)
 	}
 	return writeRecord(w, walRecord{Ev: &ej})
+}
+
+// WriteBarrierRecord appends one compaction-barrier record line to w.
+func WriteBarrierRecord(w io.Writer, seq int) error {
+	if seq < 0 {
+		return fmt.Errorf("trace: barrier with negative seq %d", seq)
+	}
+	return writeRecord(w, walRecord{Bar: &Barrier{Seq: seq}})
 }
 
 func writeRecord(w io.Writer, r walRecord) error {
@@ -274,19 +294,24 @@ func ReadRecords(r io.Reader) ([]Record, int64, error) {
 			return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
 		}
 		switch {
-		case wr.Snap != nil && wr.Ev == nil:
+		case wr.Snap != nil && wr.Ev == nil && wr.Bar == nil:
 			if err := wr.Snap.validate(); err != nil {
 				return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
 			}
 			recs = append(recs, Record{Snap: wr.Snap})
-		case wr.Ev != nil && wr.Snap == nil:
+		case wr.Ev != nil && wr.Snap == nil && wr.Bar == nil:
 			ev, err := DecodeEvent(*wr.Ev)
 			if err != nil {
 				return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
 			}
 			recs = append(recs, Record{Ev: &ev})
+		case wr.Bar != nil && wr.Snap == nil && wr.Ev == nil:
+			if wr.Bar.Seq < 0 {
+				return nil, 0, fmt.Errorf("trace: record %d: barrier with negative seq %d", i, wr.Bar.Seq)
+			}
+			recs = append(recs, Record{Barrier: wr.Bar})
 		default:
-			return nil, 0, fmt.Errorf("trace: record %d is neither snapshot nor event", i)
+			return nil, 0, fmt.Errorf("trace: record %d is not exactly one of snapshot, event, barrier", i)
 		}
 		offset += int64(len(line))
 	}

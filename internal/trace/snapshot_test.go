@@ -199,3 +199,50 @@ func TestReadRecordsAt(t *testing.T) {
 		}
 	}
 }
+
+// TestBarrierRecordRoundTrip: compaction barriers are first-class WAL
+// records — they interleave with snapshots and events, round-trip with
+// their seq intact, and malformed ones are rejected.
+func TestBarrierRecordRoundTrip(t *testing.T) {
+	snap, _ := snapshotFixture(t)
+	script := sampleScript()
+	var buf bytes.Buffer
+	if err := WriteSnapshotRecord(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEventRecord(&buf, script[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBarrierRecord(&buf, 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEventRecord(&buf, script[1]); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	if recs[2].Barrier == nil || recs[2].Barrier.Seq != 41 {
+		t.Fatalf("record 2 = %+v, want barrier at seq 41", recs[2])
+	}
+	if recs[1].Ev == nil || recs[3].Ev == nil {
+		t.Fatal("events around the barrier lost")
+	}
+	if err := WriteBarrierRecord(&buf, -1); err == nil {
+		t.Fatal("negative barrier seq accepted")
+	}
+	// A committed line with a negative barrier is corruption.
+	bad := bytes.NewBufferString(`{"barrier":{"seq":-3}}` + "\n")
+	if _, _, err := ReadRecords(bad); err == nil {
+		t.Fatal("negative barrier record accepted on read")
+	}
+	// A line claiming to be two kinds at once is rejected.
+	dup := bytes.NewBufferString(`{"barrier":{"seq":1},"ev":{"kind":"leave","id":1}}` + "\n")
+	if _, _, err := ReadRecords(dup); err == nil {
+		t.Fatal("two-kinded record accepted")
+	}
+}
