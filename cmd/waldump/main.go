@@ -1,0 +1,133 @@
+// Command waldump decodes a session WAL — a segment directory or a
+// single segment file, in the binary v2 frame format, the legacy v1
+// NDJSON format, or a mix — and prints every committed record as v1
+// NDJSON on stdout: the human-readable debug export of the log.
+//
+// The output is itself a valid v1 WAL stream (trace.ReadRecords reads
+// it back), so existing line-oriented tooling (grep, jq) works on any
+// log regardless of its on-disk encoding. Torn trailing bytes are
+// reported on stderr and excluded, exactly as recovery would treat
+// them.
+//
+// Usage: waldump <session.wal directory | segment file> [...]
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: waldump <session.wal directory | segment file> [...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := dumpPath(os.Stdout, os.Stderr, path); err != nil {
+			fmt.Fprintf(os.Stderr, "waldump: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpPath dumps a WAL directory (all segments in numeric order) or a
+// single segment file.
+func dumpPath(w, diag io.Writer, path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !fi.IsDir() {
+		return dumpFile(w, diag, path)
+	}
+	segs, err := segmentFiles(path)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("%s holds no segment files", path)
+	}
+	for _, p := range segs {
+		if err := dumpFile(w, diag, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segmentFiles lists a WAL directory's segment files in segment-number
+// order (the append order of the log).
+func segmentFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type seg struct {
+		n    int
+		path string
+	}
+	var segs []seg
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(name, ".seg"))
+		if err != nil || n <= 0 {
+			continue
+		}
+		segs = append(segs, seg{n, filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].n < segs[j].n })
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = s.path
+	}
+	return out, nil
+}
+
+// dumpFile streams one segment's committed records to w as NDJSON,
+// reporting torn trailing bytes on diag.
+func dumpFile(w, diag io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	sc := trace.NewRecordScanner(f)
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		switch {
+		case rec.Snap != nil:
+			err = trace.WriteSnapshotRecord(w, *rec.Snap)
+		case rec.Ev != nil:
+			err = trace.WriteEventRecord(w, *rec.Ev)
+		case rec.Barrier != nil:
+			err = trace.WriteBarrierRecord(w, rec.Barrier.Seq)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if torn := fi.Size() - sc.Committed(); torn > 0 {
+		fmt.Fprintf(diag, "waldump: %s: %d torn trailing bytes ignored\n", path, torn)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/adhoc"
+	"repro/internal/geom"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// TestDumpRoundTrip: a binary v2 segment directory dumps to NDJSON that
+// trace.ReadRecords reads back to the identical record sequence — the
+// debug export loses nothing.
+func TestDumpRoundTrip(t *testing.T) {
+	snap := trace.Snapshot{
+		Version: trace.SnapshotVersion,
+		Seq:     3,
+		Nodes:   []trace.NodeState{{ID: 1, X: 2, Y: 3, Range: 25}},
+		Strategies: []trace.StrategyState{{
+			Name:   "Minim",
+			Assign: []trace.ColorEntry{{ID: 1, Color: 1}},
+			Metrics: trace.MetricsState{
+				Events: 3, TotalRecodings: 1, MaxColor: 1, PeakMaxColor: 1,
+				RecodingsByKind: map[string]int{"join": 1},
+			},
+		}},
+	}
+	events := []strategy.Event{
+		strategy.JoinEvent(2, adhoc.Config{Pos: geom.Point{X: 4, Y: 5}, Range: 30}),
+		strategy.MoveEvent(2, geom.Point{X: 6, Y: 7}),
+		strategy.PowerEvent(2, 40),
+		strategy.LeaveEvent(2),
+	}
+
+	dir := t.TempDir()
+	// Segment 1: snapshot + two events. Segment 2: two more + a barrier.
+	var seg1, seg2 []byte
+	var err error
+	if seg1, err = trace.AppendSnapshotFrame(nil, snap); err != nil {
+		t.Fatal(err)
+	}
+	seq := snap.Seq
+	for _, ev := range events[:2] {
+		seq++
+		if seg1, err = trace.AppendEventFrame(seg1, seq, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ev := range events[2:] {
+		seq++
+		if seg2, err = trace.AppendEventFrame(seg2, seq, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seg2, err = trace.AppendBarrierFrame(seg2, seq); err != nil {
+		t.Fatal(err)
+	}
+	// Torn tail on the last segment: half an event frame.
+	torn, err := trace.AppendEventFrame(nil, seq+1, events[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg2 = append(seg2, torn[:len(torn)/2]...)
+	if err := os.WriteFile(filepath.Join(dir, "000000001.seg"), seg1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "000000002.seg"), seg2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, diag bytes.Buffer
+	if err := dumpPath(&out, &diag, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(diag.Bytes(), []byte("torn trailing bytes")) {
+		t.Fatalf("torn tail not reported; diag: %q", diag.String())
+	}
+
+	recs, off, err := trace.ReadRecords(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("dump is not a readable v1 stream: %v", err)
+	}
+	if off != int64(out.Len()) {
+		t.Fatalf("dump has torn bytes of its own: committed %d of %d", off, out.Len())
+	}
+	if len(recs) != 1+len(events)+1 {
+		t.Fatalf("dump holds %d records, want %d", len(recs), 1+len(events)+1)
+	}
+	if recs[0].Snap == nil || !reflect.DeepEqual(*recs[0].Snap, snap) {
+		t.Fatalf("snapshot did not round-trip: %+v", recs[0].Snap)
+	}
+	for i, ev := range events {
+		if recs[1+i].Ev == nil || *recs[1+i].Ev != ev {
+			t.Fatalf("event %d did not round-trip: %+v", i, recs[1+i].Ev)
+		}
+	}
+	if recs[len(recs)-1].Barrier == nil || recs[len(recs)-1].Barrier.Seq != seq {
+		t.Fatalf("barrier did not round-trip: %+v", recs[len(recs)-1].Barrier)
+	}
+
+	// Every line of the dump is standalone JSON (the debug contract).
+	lines := bytes.Split(bytes.TrimSuffix(out.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != len(recs) {
+		t.Fatalf("dump has %d lines for %d records", len(lines), len(recs))
+	}
+	for i, ln := range lines {
+		if len(ln) == 0 || ln[0] != '{' {
+			t.Fatalf("line %d is not a JSON object: %q", i, ln)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -159,13 +160,48 @@ func (n *Node) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// The body is a JSON header line followed by raw binary WAL frames
+	// (shipContentType): parse the header, then scan the frame stream.
+	br := bufio.NewReader(r.Body)
+	header, err := br.ReadBytes('\n')
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: ship body lacks a header line: %w", err))
+		return
+	}
 	var req shipReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(header, &req); err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Session != id {
 		httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: ship body names %q, path %q", req.Session, id))
+		return
+	}
+	evs := make([]strategy.Event, 0, req.Count)
+	sc := trace.NewRecordScanner(br)
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: ship frame %d: %w", len(evs), err))
+			return
+		}
+		if rec.Ev == nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: ship frame %d is not an event record", len(evs)))
+			return
+		}
+		if rec.Seq != req.From+len(evs) {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: ship frame %d carries seq %d, want %d", len(evs), rec.Seq, req.From+len(evs)))
+			return
+		}
+		evs = append(evs, *rec.Ev)
+	}
+	if len(evs) != req.Count {
+		// The frame scanner absorbs a truncated final frame as a torn
+		// tail; the header's count turns that silence into a loud reject.
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: ship body holds %d events, header announced %d", len(evs), req.Count))
 		return
 	}
 	if _, isPrimary := n.localPrimary(id); isPrimary {
@@ -193,15 +229,6 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 	n.followers[id] = &followerState{cfg: req.Config, primary: req.Primary}
 	n.mu.Unlock()
 
-	evs := make([]strategy.Event, 0, len(req.Events))
-	for i, ej := range req.Events {
-		ev, err := trace.DecodeEvent(ej)
-		if err != nil {
-			httpErr(w, http.StatusBadRequest, fmt.Errorf("event %d: %w", i, err))
-			return
-		}
-		evs = append(evs, ev)
-	}
 	acked, err := rep.Offer(req.From, evs)
 	if errors.Is(err, serve.ErrReplicaGap) {
 		// The batch starts beyond our log — the primary compacted past
@@ -311,7 +338,7 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Type", "application/x-wal")
 	w.Header().Set("X-Snapshot-Seq", strconv.Itoa(plan.Seq))
 	w.WriteHeader(http.StatusOK)
 	for _, tf := range plan.Files {

@@ -454,7 +454,7 @@ func (n *Node) shipOne(fd *walFeed, sh *shipper) (advanced bool, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for {
-		req, ok := sh.next(fd, n.cfg.ID)
+		batch, ok := sh.next(fd, n.cfg.ID)
 		if !ok {
 			return advanced, nil // nothing pending for this follower
 		}
@@ -463,7 +463,7 @@ func (n *Node) shipOne(fd *walFeed, sh *shipper) (advanced bool, err error) {
 			return advanced, nil // follower not reachable through the table right now
 		}
 		var resp shipResp
-		if err := n.postJSON(addr, "/cluster/ship/"+sh.session, req, &resp); err != nil {
+		if err := n.postShip(addr, "/cluster/ship/"+sh.session, batch.body, &resp); err != nil {
 			var he *httpError
 			if errors.As(err, &he) {
 				// The follower is reachable and refusing (poisoned
@@ -484,7 +484,7 @@ func (n *Node) shipOne(fd *walFeed, sh *shipper) (advanced bool, err error) {
 		if resp.Acked > sh.acked {
 			sh.acked = resp.Acked
 		}
-		sh.barrierSent = req.Barrier
+		sh.barrierSent = batch.barrier
 		if sh.acked > prev || first {
 			advanced = true
 		}
@@ -598,6 +598,28 @@ func (e *httpError) Error() string { return e.detail }
 // responses come back as *httpError.
 func (n *Node) postJSON(addr, path string, body, out interface{}) error {
 	return n.postJSONWith(n.client, addr, path, body, out)
+}
+
+// postShip posts a pre-assembled ship body (JSON header line + raw WAL
+// frames) and decodes the JSON acknowledgement. The body bytes were
+// encoded exactly once by the shipper; this path never re-marshals.
+func (n *Node) postShip(addr, path string, body []byte, out interface{}) error {
+	resp, err := n.client.Post("http://"+addr+path, shipContentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return &httpError{status: resp.StatusCode, detail: fmt.Sprintf("cluster: POST %s%s: %s: %s", addr, path, resp.Status, e.Error)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func (n *Node) postJSONWith(c *http.Client, addr, path string, body, out interface{}) error {

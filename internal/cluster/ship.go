@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/serve"
@@ -57,18 +59,24 @@ func (c SessionConfig) serveConfig() serve.Config {
 	}
 }
 
-// shipReq is one replication batch: the session's config (so a follower
-// can build or reopen its replica cold), events starting at sequence
-// From, and the newest compaction-barrier sequence the primary has
-// logged (0 when none). Primary names the sender so followers know whom
-// they are following — and whom to fetch a catch-up snapshot from.
+// shipContentType marks a v2 ship body: one JSON header line (shipReq)
+// terminated by '\n', followed by Count raw binary WAL frames — the
+// exact bytes the primary's WAL holds, shipped without re-encoding.
+const shipContentType = "application/x-wal-ship"
+
+// shipReq is one replication batch's header: the session's config (so a
+// follower can build or reopen its replica cold), the sequence of the
+// first shipped event, the frame count that follows the header line,
+// and the newest compaction-barrier sequence the primary has logged
+// (0 when none). Primary names the sender so followers know whom they
+// are following — and whom to fetch a catch-up snapshot from.
 type shipReq struct {
-	Session string              `json:"session"`
-	Primary MemberID            `json:"primary"`
-	Config  SessionConfig       `json:"config"`
-	From    int                 `json:"from"`
-	Events  []trace.EventRecord `json:"events"`
-	Barrier int                 `json:"barrier,omitempty"`
+	Session string        `json:"session"`
+	Primary MemberID      `json:"primary"`
+	Config  SessionConfig `json:"config"`
+	From    int           `json:"from"`
+	Count   int           `json:"count"`
+	Barrier int           `json:"barrier,omitempty"`
 }
 
 // shipResp acknowledges a batch: Acked is the follower's durable
@@ -93,14 +101,15 @@ const maxShipEvents = 512
 const defaultFeedBacklog = 4096
 
 // walFeed is the shared fan-out point of one led session's replication:
-// ONE tailer reads the session's WAL (serve.TailWALLimit) and decodes
-// each record exactly once into a bounded in-memory window of wire
-// records; every follower's shipper is just a cursor into that window.
-// N followers therefore cost one file read and one encode per record,
-// not N. The feed also carries the stream's coordination state: the
-// newest compaction-barrier sequence seen (from barrier records, or
-// from a compaction snapshot at the log head after the feed
-// repositions).
+// ONE tailer reads the session's WAL (serve.TailWALLimit) into a
+// bounded in-memory window of raw, already-encoded binary frames —
+// exactly the bytes the log holds — and every follower's shipper is
+// just a cursor into that window. N followers therefore cost one file
+// read and ZERO re-encodes per record (a v1 NDJSON record is transcoded
+// to its v2 frame once on ingest, never per follower). The feed also
+// carries the stream's coordination state: the newest
+// compaction-barrier sequence seen (from barrier records, or from a
+// compaction snapshot at the log head after the feed repositions).
 type walFeed struct {
 	mu      sync.Mutex
 	pos     serve.WALPos
@@ -108,7 +117,7 @@ type walFeed struct {
 	readSeq int  // seq the next event record in the file stream carries
 	nextSeq int  // seq the next record appended to the window will carry
 	base    int  // seq of entries[0] (meaningful when len(entries) > 0)
-	entries []trace.EventRecord
+	entries [][]byte
 	barrier int // newest compaction-barrier seq (0: none)
 	cap     int
 }
@@ -171,14 +180,20 @@ func (fd *walFeed) pull(dir string) error {
 			if seq > fd.nextSeq {
 				return fmt.Errorf("cluster: wal %s: stream skips from seq %d to %d", dir, fd.nextSeq, seq)
 			}
-			ej, err := trace.EncodeEvent(*r.Ev)
-			if err != nil {
-				return err
+			frame := r.Frame
+			if frame == nil {
+				// v1 NDJSON record: transcode to its v2 frame once, here.
+				var err error
+				if frame, err = trace.AppendEventFrame(nil, seq, *r.Ev); err != nil {
+					return err
+				}
+			} else if r.Seq != seq {
+				return fmt.Errorf("cluster: wal %s: frame carries seq %d, stream expects %d", dir, r.Seq, seq)
 			}
 			if len(fd.entries) == 0 {
 				fd.base = seq
 			}
-			fd.entries = append(fd.entries, ej)
+			fd.entries = append(fd.entries, frame)
 			fd.nextSeq++
 		}
 	}
@@ -211,12 +226,14 @@ func (fd *walFeed) prune(minAcked int) {
 	fd.dropThroughLocked(minAcked)
 }
 
-// window returns up to max events starting at sequence from, along
-// with the sequence of the first event returned. A follower whose
+// window returns up to max event frames starting at sequence from,
+// along with the sequence of the first frame returned. A follower whose
 // cursor precedes the window (its backlog was pruned, or it is brand
 // new against a long-retained log) gets the window's start instead —
 // the resulting gap makes the follower catch up by snapshot transfer.
-func (fd *walFeed) window(from, max int) ([]trace.EventRecord, int) {
+// Returned frames are immutable shared buffers: callers copy them into
+// a request body (appendShipBody) and never write through them.
+func (fd *walFeed) window(from, max int) ([][]byte, int) {
 	fd.mu.Lock()
 	defer fd.mu.Unlock()
 	if len(fd.entries) == 0 || from >= fd.nextSeq {
@@ -225,11 +242,11 @@ func (fd *walFeed) window(from, max int) ([]trace.EventRecord, int) {
 	if from < fd.base {
 		from = fd.base
 	}
-	evs := fd.entries[from-fd.base:]
-	if len(evs) > max {
-		evs = evs[:max]
+	frames := fd.entries[from-fd.base:]
+	if len(frames) > max {
+		frames = frames[:max]
 	}
-	return evs, from
+	return frames, from
 }
 
 // endSeq is the sequence of the newest record the feed has read.
@@ -257,6 +274,8 @@ type shipper struct {
 	session  string
 	follower MemberID
 	cfg      SessionConfig
+	cfgJSON  []byte // session config marshaled once: the header embeds it verbatim
+	buf      []byte // reusable request-body buffer: batch assembly allocates nothing at steady state
 
 	acked       int  // follower's last acknowledged sequence
 	contacted   bool // at least one successful exchange happened
@@ -264,25 +283,90 @@ type shipper struct {
 }
 
 func newShipper(session string, follower MemberID, cfg SessionConfig) *shipper {
-	return &shipper{session: session, follower: follower, cfg: cfg}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		// SessionConfig is a flat struct of ints, floats, and strings;
+		// marshaling cannot fail.
+		panic(fmt.Sprintf("cluster: marshal session config: %v", err))
+	}
+	return &shipper{session: session, follower: follower, cfg: cfg, cfgJSON: cfgJSON}
 }
 
-// next builds the follower's next ship request from the shared feed, or
-// false when there is nothing to send: no unacknowledged events in the
-// window, a first contact already made, and no barrier news.
-func (sh *shipper) next(fd *walFeed, primary MemberID) (shipReq, bool) {
+// shipBatch is one assembled ship request: the wire body (header line +
+// raw frames, aliasing the shipper's reusable buffer — consume before
+// the next call to next) plus the header fields the ship loop folds
+// acknowledgements with.
+type shipBatch struct {
+	body    []byte
+	from    int
+	count   int
+	barrier int
+}
+
+// next assembles the follower's next ship request body from the shared
+// feed, or false when there is nothing to send: no unacknowledged
+// events in the window, a first contact already made, and no barrier
+// news.
+func (sh *shipper) next(fd *walFeed, primary MemberID) (shipBatch, bool) {
 	from := sh.acked + 1
-	evs, start := fd.window(from, maxShipEvents)
+	frames, start := fd.window(from, maxShipEvents)
 	barrier := fd.barrierSeq()
-	if len(evs) == 0 && sh.contacted && barrier <= sh.barrierSent {
-		return shipReq{}, false
+	if len(frames) == 0 && sh.contacted && barrier <= sh.barrierSent {
+		return shipBatch{}, false
 	}
-	return shipReq{
-		Session: sh.session,
-		Primary: primary,
-		Config:  sh.cfg,
-		From:    start,
-		Events:  evs,
-		Barrier: barrier,
-	}, true
+	sh.buf = appendShipBody(sh.buf[:0], sh.session, primary, sh.cfgJSON, start, barrier, frames)
+	return shipBatch{body: sh.buf, from: start, count: len(frames), barrier: barrier}, true
+}
+
+// appendShipBody assembles a ship request body into dst: the shipReq
+// header as one JSON line (built by hand so steady-state assembly does
+// not allocate), then the raw frames. The header field order matches
+// shipReq's declaration for readability in captures; the receiver
+// decodes it with encoding/json and does not care.
+func appendShipBody(dst []byte, session string, primary MemberID, cfgJSON []byte, from, barrier int, frames [][]byte) []byte {
+	dst = append(dst, `{"session":`...)
+	dst = appendJSONString(dst, session)
+	dst = append(dst, `,"primary":`...)
+	dst = appendJSONString(dst, string(primary))
+	dst = append(dst, `,"config":`...)
+	dst = append(dst, cfgJSON...)
+	dst = append(dst, `,"from":`...)
+	dst = strconv.AppendInt(dst, int64(from), 10)
+	dst = append(dst, `,"count":`...)
+	dst = strconv.AppendInt(dst, int64(len(frames)), 10)
+	dst = append(dst, `,"barrier":`...)
+	dst = strconv.AppendInt(dst, int64(barrier), 10)
+	dst = append(dst, '}', '\n')
+	for _, f := range frames {
+		dst = append(dst, f...)
+	}
+	return dst
+}
+
+// appendJSONString appends s as a JSON string literal. Escaping covers
+// everything encoding/json would escape for the identifiers that pass
+// through here (session IDs are [A-Za-z0-9._-], member IDs arbitrary
+// user strings): quotes, backslashes, and control bytes. Non-ASCII
+// passes through verbatim — JSON strings are UTF-8.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c == '\n':
+			dst = append(dst, '\\', 'n')
+		case c == '\r':
+			dst = append(dst, '\\', 'r')
+		case c == '\t':
+			dst = append(dst, '\\', 't')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			dst = append(dst, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
 }

@@ -227,17 +227,25 @@ func (r *Recoder) recodeLocal(n graph.NodeID, inOrBoth []graph.NodeID) map[graph
 	v1 := make([]graph.NodeID, 0, len(inOrBoth)+1)
 	v1 = append(v1, inOrBoth...)
 	v1 = append(v1, n)
-	excl := make(map[graph.NodeID]struct{}, len(v1))
-	for _, u := range v1 {
-		excl[u] = struct{}{}
-	}
 
-	// Steps 1-2: gather per-node external constraints.
+	// Steps 1-2: gather per-node external constraints. Rather than pass
+	// the exclude set into every constraint walk (a hash probe per
+	// visited node — the profile's dominant cost on this path), the
+	// members' colors are lifted out of the assignment for the duration
+	// of the walks: an excluded node then contributes None, which
+	// ColorSet.Add ignores. Same semantics, zero membership tests. The
+	// lift bypasses setColor deliberately — it is restored below before
+	// any accumulator-visible mutation.
 	old := make(map[graph.NodeID]toca.Color, len(v1))
-	forb := make(map[graph.NodeID]toca.ColorSet, len(v1))
 	for _, u := range v1 {
-		forb[u] = toca.Forbidden(r.net.Graph(), r.assign, u, excl)
 		old[u] = r.assign[u]
+		delete(r.assign, u)
+	}
+	forb := toca.ForbiddenAll(r.net.Graph(), r.assign, v1)
+	for _, u := range v1 {
+		if c := old[u]; c != toca.None {
+			r.assign[u] = c
+		}
 	}
 
 	// Steps 3-5 are the pure matching computation.
@@ -279,12 +287,16 @@ func SolveWeighted(v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[
 	return solveWeighted(nil, v1, old, forb, wOld, wNew)
 }
 
-// solveWeighted is the shared implementation. With a nil scratch every
-// call allocates fresh solver state (the pure-function path Solve and the
-// dist protocols use); with a scratch the edge list and the Hungarian
-// matrices are reused across calls. Both paths return the identical
-// matching — the scratch solver is a buffer-for-buffer transcription
-// with the same tie-breaking, differentially tested in internal/matching.
+// solveWeighted is the shared implementation. With a nil scratch it
+// materializes the edge list and allocates fresh solver state (the
+// pure-function path Solve and the dist protocols use). With a scratch
+// it skips the edge list entirely: the weight matrix is dense minus the
+// forbidden cells, so each row is filled with wNew, the old-color cell
+// upgraded to wOld, and only the (sparse) forbidden set is walked to
+// zero its cells — O(k·max + Σ|forb|) writes instead of a per-cell
+// membership test plus k·max edge appends. Both paths hand the solver
+// the identical matrix, so they return the identical matching — same
+// tie-breaking — differentially tested here and in internal/matching.
 func solveWeighted(s *matching.Scratch, v1 []graph.NodeID, old map[graph.NodeID]toca.Color, forb map[graph.NodeID]toca.ColorSet, wOld, wNew int64) map[graph.NodeID]toca.Color {
 	maxC := toca.None
 	for _, u := range v1 {
@@ -296,28 +308,39 @@ func solveWeighted(s *matching.Scratch, v1 []graph.NodeID, old map[graph.NodeID]
 		}
 	}
 
-	var edges []matching.Edge
-	if s != nil {
-		edges = s.Edges[:0]
-	}
-	for i, u := range v1 {
-		for c := toca.Color(1); c <= maxC; c++ {
-			if forb[u].Has(c) {
-				continue
-			}
-			w := wNew
-			if c == old[u] {
-				w = wOld
-			}
-			edges = append(edges, matching.Edge{L: i, R: int(c - 1), W: w})
-		}
-	}
-
 	var res matching.Result
 	if s != nil {
-		s.Edges = edges
-		res = s.MaxWeight(len(v1), int(maxC), edges)
+		nR := int(maxC)
+		w := s.WeightMatrix(len(v1), nR)
+		for i, u := range v1 {
+			row := w[i*nR : (i+1)*nR]
+			for j := range row {
+				row[j] = wNew
+			}
+			if c := old[u]; c != toca.None {
+				row[c-1] = wOld
+			}
+			// Forbidden cells last: a forbidden old color stays absent,
+			// exactly as the edge build's skip.
+			forb[u].ForEach(func(c toca.Color) {
+				row[c-1] = 0
+			})
+		}
+		res = s.MaxWeightMatrix(len(v1), nR)
 	} else {
+		var edges []matching.Edge
+		for i, u := range v1 {
+			for c := toca.Color(1); c <= maxC; c++ {
+				if forb[u].Has(c) {
+					continue
+				}
+				w := wNew
+				if c == old[u] {
+					w = wOld
+				}
+				edges = append(edges, matching.Edge{L: i, R: int(c - 1), W: w})
+			}
+		}
 		res = matching.MaxWeight(len(v1), int(maxC), edges)
 	}
 	out := make(map[graph.NodeID]toca.Color, len(v1))

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/adhoc"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/matching"
 	"repro/internal/toca"
 	"repro/internal/xrand"
 )
@@ -162,6 +164,44 @@ func TestSolveWeightedCardinalityLosesMinimality(t *testing.T) {
 	}
 	if weightedWorse > 0 {
 		t.Fatalf("weighted solve recoded more than unit solve in %d trials", weightedWorse)
+	}
+}
+
+// TestSolveWeightedMatrixDifferential: the scratch path (dense matrix
+// fill + sparse forbidden-set zeroing) returns the IDENTICAL colors as
+// the nil-scratch edge-list path on random instances, across the
+// ablation weight settings — replication parity depends on the exact
+// tie-breaking, so "equal weight" is not enough.
+func TestSolveWeightedMatrixDifferential(t *testing.T) {
+	rng := xrand.New(37)
+	s := matching.NewScratch()
+	for trial := 0; trial < 400; trial++ {
+		k := 1 + rng.Intn(8)
+		v1 := make([]graph.NodeID, k)
+		old := make(map[graph.NodeID]toca.Color, k)
+		forb := make(map[graph.NodeID]toca.ColorSet, k)
+		for i := range v1 {
+			v1[i] = graph.NodeID(i)
+			if rng.Bool() {
+				old[v1[i]] = toca.Color(1 + rng.Intn(6))
+			}
+			fs := toca.NewColorSet()
+			for c := toca.Color(1); c <= 7; c++ {
+				// Forbidden old colors included: the matrix fill must
+				// let the forbidden zero win over the wOld upgrade.
+				if rng.Float64() < 0.35 {
+					fs.Add(c)
+				}
+			}
+			forb[v1[i]] = fs
+		}
+		for _, wOld := range []int64{1, 2, 3} {
+			want := solveWeighted(nil, v1, old, forb, wOld, 1)
+			got := solveWeighted(s, v1, old, forb, wOld, 1)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d wOld=%d: scratch %v, want %v", trial, wOld, got, want)
+			}
+		}
 	}
 }
 

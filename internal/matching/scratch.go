@@ -1,5 +1,7 @@
 package matching
 
+import "fmt"
+
 // Scratch holds the Hungarian solver's working memory so a caller that
 // solves many matchings in sequence (Minim recodes on every join/move
 // event) reuses one set of buffers instead of reallocating the dense
@@ -17,9 +19,6 @@ type Scratch struct {
 	p    []int   // p[j] = row matched to column j (1-based), 0 = free
 	way  []int   // back-pointers along the alternating tree
 	used []bool  // columns in the current tree
-	// Edges is a caller-reusable edge buffer: build the event's edge list
-	// in Edges[:0] and pass it to MaxWeight to avoid reallocating it too.
-	Edges []Edge
 }
 
 // NewScratch returns an empty scratch.
@@ -59,7 +58,57 @@ func (s *Scratch) MaxWeight(nLeft, nRight int, edges []Edge) Result {
 			maxW = e.W
 		}
 	}
+	return s.solveMatrix(nLeft, nRight, maxW, res)
+}
 
+// WeightMatrix returns the scratch's nLeft x nRight weight matrix
+// (flattened row-major), zeroed and ready to fill. Callers whose edge
+// structure is "dense minus a sparse forbidden set" (Minim's recoding)
+// write weights into the cells directly and solve with MaxWeightMatrix,
+// skipping the edge-list detour entirely. The slice is only valid until
+// the next Scratch call.
+func (s *Scratch) WeightMatrix(nLeft, nRight int) []int64 {
+	if nLeft < 0 || nRight < 0 {
+		panic("matching: negative partition size")
+	}
+	s.w = growI64(s.w, nLeft*nRight)
+	clear(s.w)
+	return s.w
+}
+
+// MaxWeightMatrix solves over the matrix previously obtained from
+// WeightMatrix (cell [l*nRight+r] = weight of edge l-r, 0 = no edge).
+// It returns the IDENTICAL Result that MaxWeight / Scratch.MaxWeight
+// would return for the equivalent edge list — same matching, same
+// tie-breaking — because all three share one cost build and solve.
+func (s *Scratch) MaxWeightMatrix(nLeft, nRight int) Result {
+	res := Result{
+		MatchL: filled(nLeft, -1),
+		MatchR: filled(nRight, -1),
+	}
+	if nLeft == 0 || nRight == 0 {
+		return res
+	}
+	var maxW int64
+	for _, w := range s.w[:nLeft*nRight] {
+		if w < 0 {
+			panic(fmt.Sprintf("matching: negative weight %d in matrix", w))
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW == 0 {
+		// No positive-weight cell means no matchable edge; identical to
+		// the empty-edge-list early return.
+		return res
+	}
+	return s.solveMatrix(nLeft, nRight, maxW, res)
+}
+
+// solveMatrix is the shared back half of MaxWeight and MaxWeightMatrix:
+// cost build over s.w, Hungarian solve, matching extraction.
+func (s *Scratch) solveMatrix(nLeft, nRight int, maxW int64, res Result) Result {
 	// Pad columns with zero-weight slack so rows <= cols; cost = maxW -
 	// weight turns maximization into minimization, exactly as MaxWeight.
 	cols := nRight

@@ -56,6 +56,46 @@ func TestScratchMatchesMaxWeight(t *testing.T) {
 	}
 }
 
+// TestMaxWeightMatrixDifferential: filling the weight matrix directly
+// (WeightMatrix + MaxWeightMatrix, the Minim hot path) returns the
+// IDENTICAL Result as the edge-list solvers on the same instance —
+// same matching, same tie-breaking, not merely equal weight.
+func TestMaxWeightMatrixDifferential(t *testing.T) {
+	rng := xrand.New(11)
+	s := NewScratch()
+	for i := 0; i < 500; i++ {
+		nLeft, nRight, edges := scratchInstance(rng)
+		want := MaxWeight(nLeft, nRight, edges)
+		w := s.WeightMatrix(nLeft, nRight)
+		for _, e := range edges {
+			if e.W > w[e.L*nRight+e.R] {
+				w[e.L*nRight+e.R] = e.W // parallel edges keep the heaviest
+			}
+		}
+		got := s.MaxWeightMatrix(nLeft, nRight)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("instance %d (%dx%d, %d edges): matrix %+v, want %+v",
+				i, nLeft, nRight, len(edges), got, want)
+		}
+	}
+}
+
+// TestMaxWeightMatrixEmpty: degenerate shapes and the all-zero matrix
+// behave like the empty edge list.
+func TestMaxWeightMatrixEmpty(t *testing.T) {
+	s := NewScratch()
+	for _, c := range []struct{ l, r int }{{0, 0}, {0, 5}, {5, 0}, {3, 4}} {
+		s.WeightMatrix(c.l, c.r)
+		got := s.MaxWeightMatrix(c.l, c.r)
+		if got.Weight != 0 || got.Cardinality() != 0 {
+			t.Fatalf("%dx%d zero matrix matched something: %+v", c.l, c.r, got)
+		}
+		if err := got.Validate(c.l, c.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestScratchEmptyAndDegenerate(t *testing.T) {
 	s := NewScratch()
 	for _, c := range []struct{ l, r int }{{0, 0}, {0, 5}, {5, 0}, {3, 3}} {

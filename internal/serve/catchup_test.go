@@ -245,7 +245,7 @@ func TestReplicaCompactBarrier(t *testing.T) {
 	base, _ := testScript(61, 25, 0)
 	primDir := t.TempDir()
 	primMgr := NewManager(primDir)
-	cfg := Config{Strategies: allNames, SyncEvery: 1, SegmentBytes: 1024}
+	cfg := Config{Strategies: allNames, SyncEvery: 1, SegmentBytes: 256}
 	s, err := primMgr.Create("bar", cfg)
 	if err != nil {
 		t.Fatal(err)

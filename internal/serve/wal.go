@@ -2,7 +2,6 @@ package serve
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -52,6 +51,8 @@ type wal struct {
 	tail         int   // events appended since the last snapshot record
 	syncEvery    int
 	sinceSync    int
+	seq          int    // event-log position of the last appended record
+	encBuf       []byte // reusable frame-encode buffer: appends allocate nothing at steady state
 }
 
 // segName formats a segment file name; the fixed width keeps
@@ -106,39 +107,26 @@ func cleanTemps(dir string) {
 
 // startsWithSnapshot reports whether a segment file's first committed
 // record is a snapshot (createWAL's first segment and every compaction
-// segment are; append-continuation segments are not).
+// segment are; append-continuation segments are not). The whole first
+// record must decode — a torn or malformed snapshot frame must not
+// nominate its segment as a recovery root, since choosing it would
+// delete valid predecessor segments.
 func startsWithSnapshot(p string) bool {
 	f, err := os.Open(p)
 	if err != nil {
 		return false
 	}
 	defer f.Close()
-	line, err := bufio.NewReader(f).ReadBytes('\n')
-	if err != nil {
-		return false // empty or torn first line
-	}
-	var wr struct {
-		Snap *trace.Snapshot `json:"snap"`
-	}
-	return json.Unmarshal(line, &wr) == nil && wr.Snap != nil
+	rec, err := trace.NewRecordScanner(f).Next()
+	return err == nil && rec.Snap != nil
 }
 
-// write appends one encoded record to the active segment, tracking its
-// size.
-func (w *wal) write(enc func(io.Writer) error) error {
-	return enc(countingWriter{w.bw, &w.size})
-}
-
-// countingWriter adds written byte counts to n.
-type countingWriter struct {
-	w io.Writer
-	n *int64
-}
-
-func (cw countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	*cw.n += int64(n)
-	return n, err
+// writeFrame appends one encoded record to the active segment, tracking
+// its size.
+func (w *wal) writeFrame(b []byte) error {
+	n, err := w.bw.Write(b)
+	w.size += int64(n)
+	return err
 }
 
 // createWAL starts a fresh log at dir with the given initial snapshot,
@@ -154,8 +142,14 @@ func createWAL(dir string, snap trace.Snapshot) (*wal, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{dir: dir, firstSeg: 1, segIdx: 1, f: f, bw: bufio.NewWriter(f)}
-	if err := w.write(func(out io.Writer) error { return trace.WriteSnapshotRecord(out, snap) }); err != nil {
+	w := &wal{dir: dir, firstSeg: 1, segIdx: 1, f: f, bw: bufio.NewWriter(f), seq: snap.Seq}
+	buf, err := trace.AppendSnapshotFrame(w.encBuf[:0], snap)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.encBuf = buf
+	if err := w.writeFrame(buf); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -297,7 +291,7 @@ func openWAL(dir string) (trace.Snapshot, []strategy.Event, *wal, error) {
 		f.Close()
 		return fail(err)
 	}
-	w := &wal{dir: dir, firstSeg: snapSeg, segIdx: last, f: f, bw: bufio.NewWriter(f), size: lastSize, tail: len(tail)}
+	w := &wal{dir: dir, firstSeg: snapSeg, segIdx: last, f: f, bw: bufio.NewWriter(f), size: lastSize, tail: len(tail), seq: snap.Seq + len(tail)}
 	return *snap, tail, w, nil
 }
 
@@ -309,9 +303,15 @@ func (w *wal) append(ev strategy.Event) error {
 			return err
 		}
 	}
-	if err := w.write(func(out io.Writer) error { return trace.WriteEventRecord(out, ev) }); err != nil {
+	buf, err := trace.AppendEventFrame(w.encBuf[:0], w.seq+1, ev)
+	if err != nil {
 		return err
 	}
+	w.encBuf = buf
+	if err := w.writeFrame(buf); err != nil {
+		return err
+	}
+	w.seq++
 	w.tail++
 	w.sinceSync++
 	if w.syncEvery > 0 && w.sinceSync >= w.syncEvery {
@@ -329,7 +329,12 @@ func (w *wal) appendBarrier(seq int) error {
 			return err
 		}
 	}
-	return w.write(func(out io.Writer) error { return trace.WriteBarrierRecord(out, seq) })
+	buf, err := trace.AppendBarrierFrame(w.encBuf[:0], seq)
+	if err != nil {
+		return err
+	}
+	w.encBuf = buf
+	return w.writeFrame(buf)
 }
 
 // rotate seals the active segment (flush + fsync + close) and starts
@@ -384,14 +389,14 @@ func (w *wal) compact(snap trace.Snapshot) error {
 	if err != nil {
 		return err
 	}
-	var size int64
-	bw := bufio.NewWriter(nf)
-	if err := trace.WriteSnapshotRecord(countingWriter{bw, &size}, snap); err != nil {
+	frame, err := trace.AppendSnapshotFrame(nil, snap)
+	if err != nil {
 		nf.Close()
 		os.Remove(tmp)
 		return err
 	}
-	if err := bw.Flush(); err != nil {
+	size := int64(len(frame))
+	if _, err := nf.Write(frame); err != nil {
 		nf.Close()
 		os.Remove(tmp)
 		return err

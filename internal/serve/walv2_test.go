@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// rewriteSegmentsAsV1 converts every segment of a WAL directory to the
+// v1 NDJSON encoding in place — fabricating exactly the log an old
+// writer would have left, byte-for-byte in the v1 record shapes.
+func rewriteSegmentsAsV1(t *testing.T, dir string) {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		p := filepath.Join(dir, segName(seg))
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _, err := trace.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, r := range recs {
+			switch {
+			case r.Snap != nil:
+				err = trace.WriteSnapshotRecord(&sb, *r.Snap)
+			case r.Ev != nil:
+				err = trace.WriteEventRecord(&sb, *r.Ev)
+			case r.Barrier != nil:
+				err = trace.WriteBarrierRecord(&sb, r.Barrier.Seq)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(p, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALMigrationFromV1: a session restored from a pure v1 NDJSON log
+// recovers bit-identically, continues by appending v2 frames to the
+// same log (no rewrite, no flag day), survives a crash with the
+// mixed-format log, and recovers bit-identically again.
+func TestWALMigrationFromV1(t *testing.T) {
+	base, phase := testScript(73, 30, 90)
+	script := append(append([]strategy.Event(nil), base...), phase...)
+	k := len(script) / 2
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "mig.wal")
+	cfg := Config{Strategies: allNames, SyncEvery: 1, SegmentBytes: 512}
+	s, err := newSession("mig", cfg, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range script[:k] {
+		if err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.abortForTest(); err != nil {
+		t.Fatal(err)
+	}
+	rewriteSegmentsAsV1(t, walPath)
+
+	// Restore from the v1 log: bit-identical to the pre-crash state.
+	// Rotation is effectively off for the continuation (SegmentBytes is
+	// an operational knob, not logged state) so the v2 appends land in
+	// the same segment the v1 log ended with — the mixed-format shape
+	// the per-record sniffing must handle.
+	cfg.SegmentBytes = 1 << 20
+	_, _, ref := refState(t, allNames, script[:k])
+	r, err := restoreSession("mig", cfg, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStateEquals(t, "restored-from-v1", r, allNames, ref, k)
+
+	// Continue: new appends are v2 frames in the same (now mixed) log.
+	for _, ev := range script[k:] {
+		if err := r.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.abortForTest(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := false
+	for _, seg := range segs {
+		b, err := os.ReadFile(filepath.Join(walPath, segName(seg)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) > 0 && b[0] == '{' {
+			for _, c := range b {
+				if c == trace.FrameMagic {
+					mixed = true
+				}
+			}
+		}
+	}
+	if !mixed {
+		t.Fatal("continuation left no v1-then-v2 mixed segment; migration path untested")
+	}
+
+	// Crash-recover the mixed log: still bit-identical.
+	_, _, full := refState(t, allNames, script)
+	r2, err := restoreSession("mig", cfg, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStateEquals(t, "restored-mixed", r2, allNames, full, len(script))
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALTornTailMatrixV2: truncate the active segment at EVERY byte
+// offset spanning its final frames; each cut must open cleanly and
+// recover exactly the records whose bytes are complete.
+func TestWALTornTailMatrixV2(t *testing.T) {
+	script := walScript(8)
+	src := t.TempDir()
+	walPath := filepath.Join(src, "torn.wal")
+	cfg := Config{Strategies: allNames, SyncEvery: 1}
+	s, err := newSession("torn", cfg, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range script {
+		if err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.abortForTest(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(walPath, segName(1))
+	whole, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed byte boundary after each record, via the same scanner
+	// recovery uses.
+	f, err := os.Open(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := []int64{0}
+	sc := trace.NewRecordScanner(f)
+	for {
+		if _, err := sc.Next(); err != nil {
+			break
+		}
+		bounds = append(bounds, sc.Committed())
+	}
+	f.Close()
+	if int(bounds[len(bounds)-1]) != len(whole) {
+		t.Fatalf("clean log has torn bytes: committed %d of %d", bounds[len(bounds)-1], len(whole))
+	}
+	if len(bounds) != len(script)+2 {
+		t.Fatalf("expected %d records, found %d", len(script)+1, len(bounds)-1)
+	}
+	// Cut everywhere from inside the first event record to the end.
+	for cut := int(bounds[1]); cut <= len(whole); cut++ {
+		dir := filepath.Join(t.TempDir(), "cut.wal")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snap, tail, w, err := openWAL(dir)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		w.close()
+		n := 0
+		for n+1 < len(bounds) && bounds[n+1] <= int64(cut) {
+			n++
+		}
+		if wantEvents := n - 1; len(tail) != wantEvents {
+			t.Fatalf("cut at %d: recovered %d events, want %d", cut, len(tail), wantEvents)
+		}
+		if snap.Seq != 0 {
+			t.Fatalf("cut at %d: snapshot seq %d, want 0", cut, snap.Seq)
+		}
+	}
+}
+
+// TestWALAppendZeroAlloc is the allocation-regression gate on the hot
+// append path: at steady state (warmed encode buffer, no rotation, no
+// per-append fsync) one event append performs ZERO heap allocations.
+func TestWALAppendZeroAlloc(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "alloc.wal")
+	snap := trace.Snapshot{Version: trace.SnapshotVersion}
+	w, err := createWAL(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	evs := walScript(4)
+	for _, ev := range evs {
+		if err := w.append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.append(evs[i%len(evs)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("wal.append allocates %.1f times per record; want 0", allocs)
+	}
+}
+
+// TestWALSeqTracking: the wal's internal sequence counter — which
+// stamps every appended frame — survives reopen and compaction.
+func TestWALSeqTracking(t *testing.T) {
+	script := walScript(6)
+	dir := filepath.Join(t.TempDir(), "seq.wal")
+	snap := trace.Snapshot{Version: trace.SnapshotVersion}
+	w, err := createWAL(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range script[:4] {
+		if err := w.append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	_, tail, w2, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 4 || w2.seq != 4 {
+		t.Fatalf("reopened wal at seq %d with %d events, want 4/4", w2.seq, len(tail))
+	}
+	for _, ev := range script[4:] {
+		if err := w2.append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Frames on disk carry seqs 1..6.
+	recs, _, err := TailWAL(dir, WALPos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range recs {
+		if r.Ev == nil {
+			continue
+		}
+		want++
+		if r.Seq != want {
+			t.Fatalf("event frame carries seq %d, want %d", r.Seq, want)
+		}
+	}
+	if want != len(script) {
+		t.Fatalf("tailed %d events, want %d", want, len(script))
+	}
+}

@@ -343,6 +343,43 @@ func (s ColorSet) Sorted() []Color {
 	return out
 }
 
+// UnionWith adds every color of o to s — a word-wise OR, far cheaper
+// than re-walking the nodes that produced o. The set must have been
+// created with NewColorSet.
+func (s ColorSet) UnionWith(o ColorSet) {
+	if o.b == nil || o.b.n == 0 {
+		return
+	}
+	for len(s.b.words) < len(o.b.words) {
+		s.b.words = append(s.b.words, 0)
+	}
+	for i, w := range o.b.words {
+		if add := w &^ s.b.words[i]; add != 0 {
+			s.b.words[i] |= add
+			s.b.n += bits.OnesCount64(add)
+		}
+	}
+	if o.b.max > s.b.max {
+		s.b.max = o.b.max
+	}
+}
+
+// ForEach calls fn for every color in the set in ascending order. It is
+// Sorted without the allocation — the recoding hot path walks each
+// member's forbidden set once per event, and the sets are sparse
+// relative to the color range, so iterating set bits beats scanning
+// every color for membership.
+func (s ColorSet) ForEach(fn func(Color)) {
+	if s.b == nil {
+		return
+	}
+	for w, word := range s.b.words {
+		for ; word != 0; word &= word - 1 {
+			fn(Color(w<<6 + bits.TrailingZeros64(word) + 1))
+		}
+	}
+}
+
 // LowestFree returns the smallest positive color not in the set — the
 // "lowest available color" rule used by CP and RecodeOnPowIncrease.
 func (s ColorSet) LowestFree() Color {
@@ -387,4 +424,36 @@ func Forbidden(g *graph.Digraph, a Assignment, u graph.NodeID, exclude map[graph
 	})
 	g.ForEachIn(u, add) // CA1 on v->u
 	return set
+}
+
+// ForbiddenAll computes Forbidden for every member of v1 in one pass.
+// Callers must first lift the members' colors out of the assignment
+// (every u in v1 unassigned in a), which is how the recoding uses it:
+// members' old colors are about to be reassigned and must not constrain
+// each other. That precondition is what makes the sharing sound — the
+// CA2 constraint set of a receiver w (the colors of w's in-neighbors)
+// no longer depends on WHICH member is asking, so each receiver's
+// in-neighbor walk runs once and is folded into every member that
+// transmits to w with a word-wise union, instead of being re-walked per
+// member (the k² half of the per-event constraint cost; members of a
+// join neighborhood share most of their receivers).
+func ForbiddenAll(g *graph.Digraph, a Assignment, v1 []graph.NodeID) map[graph.NodeID]ColorSet {
+	recv := make(map[graph.NodeID]ColorSet) // receiver -> in-neighbor colors
+	out := make(map[graph.NodeID]ColorSet, len(v1))
+	for _, u := range v1 {
+		set := NewColorSet()
+		g.ForEachOut(u, func(v graph.NodeID) {
+			set.Add(a[v]) // CA1 on u->v
+			rs, ok := recv[v]
+			if !ok {
+				rs = NewColorSet()
+				g.ForEachIn(v, func(x graph.NodeID) { rs.Add(a[x]) })
+				recv[v] = rs
+			}
+			set.UnionWith(rs) // CA2 at v (u's own lifted color adds None)
+		})
+		g.ForEachIn(u, func(v graph.NodeID) { set.Add(a[v]) }) // CA1 on v->u
+		out[u] = set
+	}
+	return out
 }

@@ -194,6 +194,91 @@ func TestForbidden(t *testing.T) {
 	}
 }
 
+// TestForbiddenAllDifferential: on random graphs, the shared-receiver
+// one-pass construction produces EXACTLY the per-member Forbidden sets
+// computed the slow way with an exclude map — the recoder swaps one for
+// the other, and its outcomes must stay bit-identical.
+func TestForbiddenAllDifferential(t *testing.T) {
+	rng := xrand.New(23)
+	for trial := 0; trial < 200; trial++ {
+		g := randomDigraph(rng.Uint64(), 2+rng.Intn(14), rng.Intn(60))
+		nodes := g.Nodes()
+		a := make(Assignment)
+		for _, id := range nodes {
+			if rng.Float64() < 0.8 {
+				a[id] = Color(1 + rng.Intn(5))
+			}
+		}
+		var v1 []graph.NodeID
+		excl := make(map[graph.NodeID]struct{})
+		for _, id := range nodes {
+			if rng.Float64() < 0.4 {
+				v1 = append(v1, id)
+				excl[id] = struct{}{}
+			}
+		}
+		// ForbiddenAll's precondition: members' colors lifted out.
+		lifted := a.Clone()
+		for _, u := range v1 {
+			delete(lifted, u)
+		}
+		all := ForbiddenAll(g, lifted, v1)
+		for _, u := range v1 {
+			want := Forbidden(g, a, u, excl)
+			got := all[u]
+			if !reflect.DeepEqual(got.Sorted(), want.Sorted()) {
+				t.Fatalf("trial %d node %d: ForbiddenAll %v, want %v",
+					trial, u, got.Sorted(), want.Sorted())
+			}
+			if got.Len() != want.Len() || got.Max() != want.Max() || got.LowestFree() != want.LowestFree() {
+				t.Fatalf("trial %d node %d: set stats diverge: %d/%d/%d vs %d/%d/%d",
+					trial, u, got.Len(), got.Max(), got.LowestFree(),
+					want.Len(), want.Max(), want.LowestFree())
+			}
+		}
+	}
+}
+
+// TestColorSetUnionWith: word growth, count/max bookkeeping, overlap.
+func TestColorSetUnionWith(t *testing.T) {
+	s := NewColorSet()
+	s.Add(1)
+	s.Add(3)
+	o := NewColorSet()
+	o.Add(3)   // overlap: must not double-count
+	o.Add(70)  // second word: s must grow
+	o.Add(130) // third word
+	s.UnionWith(o)
+	if got := s.Sorted(); !reflect.DeepEqual(got, []Color{1, 3, 70, 130}) {
+		t.Fatalf("Sorted = %v", got)
+	}
+	if s.Len() != 4 || s.Max() != 130 {
+		t.Fatalf("Len/Max = %d/%d, want 4/130", s.Len(), s.Max())
+	}
+	s.UnionWith(NewColorSet()) // empty o: no-op
+	s.UnionWith(ColorSet{})    // zero-value o: no-op
+	if s.Len() != 4 {
+		t.Fatalf("Len after empty unions = %d", s.Len())
+	}
+}
+
+// TestColorSetForEach: ForEach visits exactly Sorted's colors in order.
+func TestColorSetForEach(t *testing.T) {
+	rng := xrand.New(5)
+	for trial := 0; trial < 50; trial++ {
+		s := NewColorSet()
+		for i := 0; i < rng.Intn(30); i++ {
+			s.Add(Color(1 + rng.Intn(200)))
+		}
+		got := make([]Color, 0, s.Len())
+		s.ForEach(func(c Color) { got = append(got, c) })
+		if !reflect.DeepEqual(got, s.Sorted()) {
+			t.Fatalf("trial %d: ForEach %v, Sorted %v", trial, got, s.Sorted())
+		}
+	}
+	(ColorSet{}).ForEach(func(Color) { t.Fatal("zero-value set visited a color") })
+}
+
 func TestColorSet(t *testing.T) {
 	s := NewColorSet()
 	s.Add(None) // ignored

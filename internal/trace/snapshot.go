@@ -4,17 +4,19 @@
 // each hosted strategy's code assignment plus cumulative metrics — so
 // that "snapshot + event tail" reconstructs the exact pre-crash state.
 //
-// The WAL itself is a sequence of newline-delimited JSON records
-// (WriteSnapshotRecord / WriteEventRecord / ReadRecords): the first line
-// is a snapshot, every following line one event. A record is committed
-// iff its line is newline-terminated and parses; an unterminated final
-// line is a torn append (the writer died mid-write) and is ignored by
-// ReadRecords, while a malformed *terminated* line is corruption and is
-// rejected loudly.
+// The WAL itself is a sequence of self-delimiting records — binary v2
+// frames (binary.go) by default, with v1 newline-delimited JSON still
+// readable for migration — where the first record is a snapshot and
+// every following record one event. A record is committed iff its bytes
+// are complete and parse; a truncated final record is a torn append
+// (the writer died mid-write) and is ignored by ReadRecords, while
+// malformed *complete* bytes are corruption and are rejected loudly.
+// WriteSnapshotRecord / WriteEventRecord / WriteBarrierRecord emit the
+// v1 NDJSON form, which survives as the human-readable debug export
+// (cmd/waldump) and the migration compatibility surface.
 package trace
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -208,11 +210,18 @@ type walRecord struct {
 	Bar  *Barrier     `json:"barrier,omitempty"`
 }
 
-// Record is one decoded WAL record.
+// Record is one decoded WAL record. Seq is the frame header's sequence
+// number for v2 records (and the embedded seq for v1 snapshots and
+// barriers); v1 event lines carry no sequence and leave it zero. Frame
+// is the record's canonical v2 encoding, populated only by readers that
+// opt in (RecordScanner.CaptureFrames, ReadRecordsAt) and only for
+// records read from v2 frames.
 type Record struct {
 	Snap    *Snapshot
 	Ev      *strategy.Event
 	Barrier *Barrier
+	Seq     int
+	Frame   []byte
 }
 
 // WriteSnapshotRecord appends one snapshot record line to w.
@@ -256,63 +265,41 @@ func writeRecord(w io.Writer, r walRecord) error {
 // replication shipper tails a live WAL file with: records before off
 // were already consumed, a torn tail past the returned offset is simply
 // "not yet committed", and the caller re-reads from the returned offset
-// once the writer has appended more.
+// once the writer has appended more. Records read from v2 frames carry
+// their raw encoding in Record.Frame so the replication feed ships the
+// exact bytes without re-encoding.
 func ReadRecordsAt(rs io.ReadSeeker, off int64) ([]Record, int64, error) {
 	if _, err := rs.Seek(off, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("trace: seek %d: %w", off, err)
 	}
-	recs, n, err := ReadRecords(rs)
+	sc := NewRecordScanner(rs)
+	sc.CaptureFrames()
+	recs, n, err := scanAll(sc)
 	if err != nil {
 		return nil, 0, err
 	}
 	return recs, off + n, nil
 }
 
-// ReadRecords decodes a WAL stream. It returns the records of every
-// committed (newline-terminated, well-formed) line along with the byte
-// offset where the committed prefix ends: a torn final line — no
-// trailing newline — is not a record and lies past that offset, so a
-// writer reopening the stream truncates to it before appending. A
-// malformed line that IS terminated is corruption and fails the read.
+// ReadRecords decodes a WAL stream. It returns every committed record
+// along with the byte offset where the committed prefix ends: a torn
+// final record — truncated at any byte — lies past that offset and is
+// not a record, so a writer reopening the stream truncates to it before
+// appending. Malformed complete bytes are corruption and fail the read.
 func ReadRecords(r io.Reader) ([]Record, int64, error) {
-	br := bufio.NewReader(r)
-	var (
-		recs   []Record
-		offset int64
-	)
-	for i := 0; ; i++ {
-		line, err := br.ReadBytes('\n')
+	return scanAll(NewRecordScanner(r))
+}
+
+func scanAll(sc *RecordScanner) ([]Record, int64, error) {
+	var recs []Record
+	for {
+		rec, err := sc.Next()
 		if err == io.EOF {
-			// Unterminated tail (possibly empty): torn append, ignore.
-			return recs, offset, nil
+			return recs, sc.Committed(), nil
 		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
+			return nil, 0, err
 		}
-		var wr walRecord
-		if err := json.Unmarshal(line, &wr); err != nil {
-			return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
-		}
-		switch {
-		case wr.Snap != nil && wr.Ev == nil && wr.Bar == nil:
-			if err := wr.Snap.validate(); err != nil {
-				return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
-			}
-			recs = append(recs, Record{Snap: wr.Snap})
-		case wr.Ev != nil && wr.Snap == nil && wr.Bar == nil:
-			ev, err := DecodeEvent(*wr.Ev)
-			if err != nil {
-				return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
-			}
-			recs = append(recs, Record{Ev: &ev})
-		case wr.Bar != nil && wr.Snap == nil && wr.Ev == nil:
-			if wr.Bar.Seq < 0 {
-				return nil, 0, fmt.Errorf("trace: record %d: barrier with negative seq %d", i, wr.Bar.Seq)
-			}
-			recs = append(recs, Record{Barrier: wr.Bar})
-		default:
-			return nil, 0, fmt.Errorf("trace: record %d is not exactly one of snapshot, event, barrier", i)
-		}
-		offset += int64(len(line))
+		recs = append(recs, rec)
 	}
 }
