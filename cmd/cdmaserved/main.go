@@ -8,6 +8,7 @@
 //	cdmaserved [-addr :8080] [-dir cdmaserved-data]
 //	cdmaserved -cluster -id node-a [-join host:port] [-replicas 1]
 //	           [-interval 500ms] [-addr :8080] [-dir node-a-data]
+//	cdmaserved ... [-log-level info] [-pprof]
 //
 // Standalone mode hosts sessions under -dir (empty disables
 // durability); POST /v1/sessions with {"recover": true} reopens a
@@ -31,7 +32,18 @@
 // member to an existing one; the -interval loop drives gossip,
 // shipping, and reconciliation.
 //
-// SIGINT/SIGTERM drain every session (final WAL sync) before exiting.
+// Observability (both modes — metric catalog in docs/observability.md):
+//
+//	GET /metrics            Prometheus text exposition
+//	GET /debug/trace/{id}   per-session event trace rings (JSON)
+//	GET /healthz            process liveness (always 200)
+//	GET /readyz             readiness: 200 once recovered and joined,
+//	                        503 while starting or draining
+//	GET /debug/pprof/...    runtime profiles, only with -pprof
+//
+// -log-level (debug|info|warn|error) filters the structured stderr
+// log. SIGINT/SIGTERM flip /readyz to 503 first, then drain every
+// session (final WAL sync) before exiting.
 package main
 
 import (
@@ -40,12 +52,14 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -58,23 +72,49 @@ func main() {
 		join      = flag.String("join", "", "address of an existing cluster member to join through")
 		replicas  = flag.Int("replicas", 1, "follower replicas per session (cluster mode)")
 		interval  = flag.Duration("interval", 500*time.Millisecond, "gossip/ship/reconcile loop interval (cluster mode)")
+		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	reg := obs.NewRegistry()
+	hub := obs.NewTraceHub(obs.DefaultTraceRing)
+	health := obs.NewHealth("starting")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *clustered {
-		runCluster(ctx, *addr, *dir, *id, *join, *replicas, *interval)
+		runCluster(ctx, clusterOpts{
+			addr: *addr, dir: *dir, id: *id, join: *join,
+			replicas: *replicas, interval: *interval,
+			reg: reg, hub: hub, log: logger, health: health, pprof: *pprofOn,
+		})
 		return
 	}
 
 	m := serve.NewManager(*dir)
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
+	m.Instrument(serve.NewMetrics(reg, hub))
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", serve.NewHandler(m))
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/trace/", hub.Handler("/debug/trace/"))
+	mux.HandleFunc("GET /healthz", obs.Healthz)
+	mux.Handle("GET /readyz", health)
+	if *pprofOn {
+		mountPprof(mux)
+	}
+	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("cdmaserved: listening on %s (wal dir %q)\n", *addr, *dir)
+	health.Set(true, "")
+	logger.Info("listening", "component", "serve", "addr", *addr, "dir", *dir)
 
 	select {
 	case <-ctx.Done():
@@ -85,57 +125,89 @@ func main() {
 		return
 	}
 
-	fmt.Println("cdmaserved: draining sessions...")
+	// Readiness flips BEFORE the listener closes so load balancers stop
+	// routing here while in-flight requests drain.
+	health.Set(false, "draining")
+	logger.Info("draining sessions", "component", "serve")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	srv.Shutdown(shutCtx)
 	if err := m.CloseAll(); err != nil {
 		fail(err)
 	}
-	fmt.Println("cdmaserved: bye")
+	logger.Info("bye", "component", "serve")
 }
 
-func runCluster(ctx context.Context, addr, dir, id, join string, replicas int, interval time.Duration) {
-	if id == "" {
+type clusterOpts struct {
+	addr, dir, id, join string
+	replicas            int
+	interval            time.Duration
+	reg                 *obs.Registry
+	hub                 *obs.TraceHub
+	log                 *obs.Logger
+	health              *obs.Health
+	pprof               bool
+}
+
+func runCluster(ctx context.Context, o clusterOpts) {
+	if o.id == "" {
 		fail(errors.New("cluster mode needs -id"))
 	}
-	if dir == "" {
+	if o.dir == "" {
 		fail(errors.New("cluster mode needs a WAL directory (-dir)"))
 	}
 	n, err := cluster.NewNode(cluster.Config{
-		ID:       cluster.MemberID(id),
-		Dir:      dir,
-		Replicas: replicas,
+		ID:       cluster.MemberID(o.id),
+		Dir:      o.dir,
+		Replicas: o.replicas,
+		Registry: o.reg,
+		Trace:    o.hub,
+		Log:      o.log,
+		Health:   o.health,
+		Pprof:    o.pprof,
 	})
 	if err != nil {
 		fail(err)
 	}
-	if err := n.Start(addr); err != nil {
+	if err := n.Start(o.addr); err != nil {
 		fail(err)
 	}
 	// Re-register any sessions persisted under -dir from a previous
 	// life — always as followers; Reconcile decides who leads.
 	if err := n.Recover(); err != nil {
-		fmt.Fprintf(os.Stderr, "cdmaserved: recovery warning: %v\n", err)
+		o.log.Warn("recovery warning", "component", "cluster", "member", o.id, "err", err.Error())
 	}
-	if join != "" {
-		if err := n.JoinCluster(join); err != nil {
-			fail(fmt.Errorf("joining via %s: %w", join, err))
+	if o.join != "" {
+		if err := n.JoinCluster(o.join); err != nil {
+			fail(fmt.Errorf("joining via %s: %w", o.join, err))
 		}
 	}
-	fmt.Printf("cdmaserved: cluster member %s on %s (wal dir %q, replicas %d)\n", id, n.Addr(), dir, replicas)
+	// Recovered and joined: this member is ready to take traffic.
+	o.health.Set(true, "")
+	o.log.Info("cluster member up", "component", "cluster", "member", o.id, "addr", n.Addr(), "dir", o.dir)
 
 	done := make(chan struct{})
 	go func() {
-		n.Run(done, interval)
+		n.Run(done, o.interval)
 	}()
 	<-ctx.Done()
 	close(done)
-	fmt.Println("cdmaserved: draining sessions...")
+	// Readiness goes first, then the drain: peers and balancers see the
+	// 503 while sessions are still flushing.
+	o.health.Set(false, "draining")
+	o.log.Info("draining sessions", "component", "cluster", "member", o.id)
 	if err := n.Stop(); err != nil {
 		fail(err)
 	}
-	fmt.Println("cdmaserved: bye")
+	o.log.Info("bye", "component", "cluster", "member", o.id)
+}
+
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 func fail(err error) {

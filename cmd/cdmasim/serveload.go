@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/adhoc"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/toca"
 	"repro/internal/workload"
@@ -23,6 +24,11 @@ import (
 func runServeLoad(p workload.Params, sessions, readers, churn, hotspots int, seed uint64, dir string, verbose bool) {
 	m := serve.NewManager(dir)
 	defer m.CloseAll()
+	// Instrument the manager exactly as cdmaserved does, so the load
+	// report can fold real latency quantiles out of the same registry a
+	// production scrape would hit.
+	reg := obs.NewRegistry()
+	m.Instrument(serve.NewMetrics(reg, obs.NewTraceHub(obs.DefaultTraceRing)))
 
 	type result struct {
 		id        string
@@ -42,7 +48,9 @@ func runServeLoad(p workload.Params, sessions, readers, churn, hotspots int, see
 
 	for si := 0; si < sessions; si++ {
 		id := fmt.Sprintf("load-%d", si)
-		s, err := m.Create(id, serve.Config{Strategies: names})
+		// SyncEvery gives durable runs a real fsync cadence (and a real
+		// serve_fsync_seconds distribution); without a dir it is ignored.
+		s, err := m.Create(id, serve.Config{Strategies: names, SyncEvery: 8})
 		if err != nil {
 			fail(err)
 		}
@@ -158,4 +166,27 @@ func runServeLoad(p workload.Params, sessions, readers, churn, hotspots int, see
 	fmt.Printf("events applied  : %d (%.0f events/s)\n", totalEvents, float64(totalEvents)/elapsed.Seconds())
 	fmt.Printf("snapshot reads  : %d (%.0f reads/s)\n", totalReads, float64(totalReads)/elapsed.Seconds())
 	fmt.Printf("CA1/CA2         : valid for all %d sessions x %d strategies\n", len(results), len(names))
+
+	// Fold the run's metrics into the report the way a monitoring stack
+	// would: scrape the registry and estimate quantiles from the
+	// exposition, aggregated over every session.
+	sc, err := obs.ParseScrape(reg.Render())
+	if err != nil {
+		fail(fmt.Errorf("scraping run metrics: %w", err))
+	}
+	applyP50, _ := sc.Quantile("serve_apply_seconds", nil, 0.5)
+	applyP99, _ := sc.Quantile("serve_apply_seconds", nil, 0.99)
+	fmt.Printf("apply latency   : p50 %.0fus, p99 %.0fus (backpressure 429s: %.0f)\n",
+		applyP50*1e6, applyP99*1e6, sc.Sum("serve_backpressure_total", nil))
+	if dir != "" {
+		fsyncP50, _ := sc.Quantile("serve_fsync_seconds", nil, 0.5)
+		fsyncP99, _ := sc.Quantile("serve_fsync_seconds", nil, 0.99)
+		fmt.Printf("fsync latency   : p50 %.0fus, p99 %.0fus (%.0f records, %.0f MiB appended)\n",
+			fsyncP50*1e6, fsyncP99*1e6,
+			sc.Sum("serve_wal_records_total", nil),
+			sc.Sum("serve_wal_appended_bytes_total", nil)/(1<<20))
+	}
+	if applied := sc.Sum("serve_events_applied_total", nil); int(applied) != totalEvents {
+		fail(fmt.Errorf("metrics disagree with the run: serve_events_applied_total %.0f, applied %d", applied, totalEvents))
+	}
 }

@@ -17,6 +17,7 @@ var requiredDocs = []string{
 	"README.md",
 	"docs/architecture.md",
 	"docs/wal.md",
+	"docs/observability.md",
 	"ROADMAP.md",
 	"CHANGES.md",
 	"PAPERS.md",

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"reflect"
 	"testing"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/adhoc"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/strategy"
@@ -39,25 +41,57 @@ type harness struct {
 	dirs     map[MemberID]string
 	replicas int
 	client   *http.Client
+
+	// instrumented attaches a fresh obs.Registry + TraceHub per member
+	// (regs keeps them addressable), the way cdmaserved wires production
+	// members. Restarted members get fresh registries, like a restarted
+	// process would.
+	instrumented bool
+	regs         map[MemberID]*obs.Registry
 }
 
 func newHarness(t *testing.T, members, replicas int) *harness {
+	return buildHarness(t, members, replicas, false)
+}
+
+// newObsHarness is newHarness with every member instrumented.
+func newObsHarness(t *testing.T, members, replicas int) *harness {
+	return buildHarness(t, members, replicas, true)
+}
+
+// memberConfig assembles one member's Config, attaching observability
+// when the harness is instrumented.
+func (h *harness) memberConfig(id MemberID, dir string, replicas int, seed uint64) Config {
+	cfg := Config{
+		ID: id, Dir: dir, Replicas: replicas,
+		FailAfter: 2, Fanout: 2, Seed: seed,
+	}
+	if h.instrumented {
+		reg := obs.NewRegistry()
+		h.regs[id] = reg
+		cfg.Registry = reg
+		cfg.Trace = obs.NewTraceHub(obs.DefaultTraceRing)
+		cfg.Log = obs.NewLogger(io.Discard, obs.LevelError)
+	}
+	return cfg
+}
+
+func buildHarness(t *testing.T, members, replicas int, instrumented bool) *harness {
 	t.Helper()
 	h := &harness{
-		t:        t,
-		nodes:    make(map[MemberID]*Node),
-		crashed:  make(map[MemberID]bool),
-		dirs:     make(map[MemberID]string),
-		replicas: replicas,
-		client:   &http.Client{Timeout: 10 * time.Second},
+		t:            t,
+		nodes:        make(map[MemberID]*Node),
+		crashed:      make(map[MemberID]bool),
+		dirs:         make(map[MemberID]string),
+		replicas:     replicas,
+		client:       &http.Client{Timeout: 10 * time.Second},
+		instrumented: instrumented,
+		regs:         make(map[MemberID]*obs.Registry),
 	}
 	for i := 0; i < members; i++ {
 		id := MemberID(fmt.Sprintf("m%d", i))
 		dir := t.TempDir()
-		n, err := NewNode(Config{
-			ID: id, Dir: dir, Replicas: replicas,
-			FailAfter: 2, Fanout: 2, Seed: uint64(i) + 1,
-		})
+		n, err := NewNode(h.memberConfig(id, dir, replicas, uint64(i)+1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,10 +130,7 @@ func (h *harness) addNode(replicas int) *Node {
 	id := MemberID(fmt.Sprintf("m%d", len(h.order)))
 	dir := h.t.TempDir()
 	h.dirs[id] = dir
-	n, err := NewNode(Config{
-		ID: id, Dir: dir, Replicas: replicas,
-		FailAfter: 2, Fanout: 2, Seed: uint64(len(h.order)) + 1,
-	})
+	n, err := NewNode(h.memberConfig(id, dir, replicas, uint64(len(h.order))+1))
 	if err != nil {
 		h.t.Fatal(err)
 	}
@@ -133,10 +164,7 @@ func (h *harness) restartAll() {
 	h.nodes = make(map[MemberID]*Node)
 	h.crashed = make(map[MemberID]bool)
 	for i, id := range h.order {
-		n, err := NewNode(Config{
-			ID: id, Dir: h.dirs[id], Replicas: h.replicas,
-			FailAfter: 2, Fanout: 2, Seed: uint64(i) + 100,
-		})
+		n, err := NewNode(h.memberConfig(id, h.dirs[id], h.replicas, uint64(i)+100))
 		if err != nil {
 			h.t.Fatal(err)
 		}

@@ -180,12 +180,36 @@
 // truncation for engine-backed sessions — without it a cluster
 // session's log grows forever.
 //
-// What to monitor: /cluster/members (liveness table), /cluster/route
-// (placement), /cluster/holds/{id} (who actually has data and at what
-// seq), follower read headers (X-Read-From) and body seq for staleness
-// tracking, and AckedOffsets via logs — an alive-but-refusing
-// replication link surfaces as a ship error on the primary's stderr,
-// not silence.
+// What to monitor: every member serves GET /metrics (Prometheus text
+// exposition; see docs/observability.md for the full catalog). The
+// SLIs that matter for this runtime:
+//
+//   - cluster_ship_lag_records / cluster_ship_lag_seconds, labeled
+//     (session, follower) on the PRIMARY: how far each replication
+//     link is behind, in records and in wall time since the lagging
+//     record was accepted. A dead-but-not-yet-detected follower shows
+//     here first — lag climbs while gossip still counts it alive.
+//   - cluster_members_alive vs the fleet size you deployed, and
+//     cluster_member_fail_total for detection events.
+//   - cluster_failover_seconds / cluster_handoff_seconds: promotion
+//     and handoff durations, as histograms.
+//   - serve_view_seq per session (the applied high-water mark; compare
+//     across members for replication progress) and
+//     serve_view_publish_age_seconds for view staleness on any member
+//     serving reads.
+//   - cluster_catchup_total / cluster_catchup_bytes_total: snapshot
+//     transfers — a steadily climbing count means some follower can
+//     never hold a ship link.
+//   - serve_backpressure_total (admission 429s) and serve_apply_seconds
+//     / serve_fsync_seconds quantiles for write-path health.
+//
+// For liveness and placement snapshots, /cluster/members,
+// /cluster/route, and /cluster/holds/{id} remain the structural views;
+// follower read headers (X-Read-From) plus body seq track per-request
+// staleness. Per-event timing is on GET /debug/trace/{session} (the
+// enqueue → apply → view-publish → fsync → ship → follower-ack stage
+// ring); CPU and heap profiles are on /debug/pprof/ when the daemon
+// runs with -pprof.
 //
 // What is NOT guaranteed: writes during the failover window fail
 // retryably (503/redirect churn) until promotion completes; unacked

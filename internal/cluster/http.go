@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/strategy"
 	"repro/internal/trace"
@@ -80,6 +82,23 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/snapshot/{id}", n.handleSnapshot)
 	mux.HandleFunc("POST /cluster/adopt/{id}", n.handleAdopt)
 	mux.HandleFunc("GET /cluster/holds/{id}", n.handleHolds)
+	if n.obs.reg != nil {
+		mux.Handle("GET /metrics", n.obs.reg.Handler())
+	}
+	if n.obs.hub != nil {
+		mux.Handle("GET /debug/trace/", n.obs.hub.Handler("/debug/trace/"))
+	}
+	mux.HandleFunc("GET /healthz", obs.Healthz)
+	if n.cfg.Health != nil {
+		mux.Handle("GET /readyz", n.cfg.Health)
+	}
+	if n.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.Handle("/v1/", n.routeV1(v1))
 	return mux
 }
@@ -226,7 +245,19 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	n.mu.Lock()
-	n.followers[id] = &followerState{cfg: req.Config, primary: req.Primary}
+	fs, ok := n.followers[id]
+	if !ok {
+		fs = &followerState{}
+		n.followers[id] = fs
+	}
+	fs.cfg = req.Config
+	fs.primary = req.Primary
+	if req.Barrier > fs.barrierSeq {
+		// First sight of this barrier: start the follower side of the
+		// barrier-to-compaction clock.
+		fs.barrierSeq = req.Barrier
+		fs.barrierAt = time.Now()
+	}
 	n.mu.Unlock()
 
 	acked, err := rep.Offer(req.From, evs)
@@ -254,6 +285,21 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 			if err := rep.CompactBarrier(req.Barrier); err != nil {
 				httpErr(w, http.StatusInternalServerError, err)
 				return
+			}
+			if acked >= req.Barrier {
+				// The barrier is behind us, so the compaction above (or a
+				// previous one) has honored it: close the follower side of
+				// the barrier-to-compaction clock, once per barrier.
+				n.mu.Lock()
+				var at time.Time
+				if fs.barrierDone < req.Barrier {
+					fs.barrierDone = req.Barrier
+					at = fs.barrierAt
+				}
+				n.mu.Unlock()
+				if !at.IsZero() {
+					n.obs.barrierFollower.ObserveSince(at)
+				}
 			}
 		}
 		writeJSON(w, http.StatusOK, shipResp{Acked: acked})
@@ -290,10 +336,15 @@ func (n *Node) snapshotCatchup(id string, req shipReq) (*serve.Replica, error) {
 	// rename touches the real log — and memory stays O(1) regardless
 	// of snapshot size. The seq check below catches a transfer that
 	// raced the primary's own log state.
-	rep, err := n.mgr.InstallReplica(id, req.Config.serveConfig(), resp.Body)
+	cr := &countingReader{r: resp.Body}
+	rep, err := n.mgr.InstallReplica(id, req.Config.serveConfig(), cr)
 	if err != nil {
 		return nil, err
 	}
+	count, bytes := n.obs.forCatchup(id)
+	count.Inc()
+	bytes.Add(cr.n)
+	n.obs.log.Info("snapshot catch-up installed", "component", "cluster", "member", string(n.cfg.ID), "session", id, "from", string(req.Primary), "bytes", strconv.FormatInt(cr.n, 10))
 	if got := rep.Seq(); got != wantSeq {
 		n.mgr.CloseReplica(id)
 		return nil, fmt.Errorf("cluster: snapshot install of %q recovered seq %d, primary announced %d", id, got, wantSeq)
@@ -308,6 +359,19 @@ func (n *Node) snapshotCatchup(id string, req shipReq) (*serve.Replica, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// countingReader counts the bytes pulled through it — the catch-up
+// transfer-size metric's tap.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // handleSnapshot streams a led session's newest snapshot and committed

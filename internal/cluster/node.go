@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -42,6 +43,26 @@ type Config struct {
 	// 4096); followers that fall further behind catch up by snapshot
 	// transfer instead.
 	ShipBacklog int
+	// Registry, when set, receives the member's cluster metrics and is
+	// handed to the session manager so every hosted session registers
+	// its serve metrics there too; the Handler then exposes it at
+	// GET /metrics. nil leaves the member uninstrumented.
+	Registry *obs.Registry
+	// Trace, when set, collects per-session event traces (ship and
+	// follower-ack stages here, apply/fsync stages in serve), exposed at
+	// GET /debug/trace/{session}.
+	Trace *obs.TraceHub
+	// Log receives the member's structured log lines. nil defaults to a
+	// stderr logger at info level (the operator-visible errors Run used
+	// to print raw keep flowing).
+	Log *obs.Logger
+	// Health, when set, is served at GET /readyz (and /healthz always
+	// answers 200). The process owner flips it: ready after recovery and
+	// join, not-ready when draining.
+	Health *obs.Health
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the member's
+	// handler (off by default: profiling endpoints are opt-in).
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -61,8 +82,11 @@ type primaryState struct {
 	// pendingBarrier is a compaction barrier already written to the led
 	// session's WAL but whose compaction has not run yet; lastCompact is
 	// the seq of the last barrier that completed (paces CompactEvery).
+	// barrierAt is when the pending barrier was logged — the primary
+	// side of the barrier-to-compaction latency SLI.
 	pendingBarrier int
 	lastCompact    int
+	barrierAt      time.Time
 }
 
 func newPrimaryState(cfg SessionConfig, backlog int) *primaryState {
@@ -75,6 +99,13 @@ func newPrimaryState(cfg SessionConfig, backlog int) *primaryState {
 type followerState struct {
 	cfg     SessionConfig
 	primary MemberID
+	// Barrier-to-compaction tracking (follower side of the SLI):
+	// barrierSeq/barrierAt record the newest barrier seen in a ship
+	// header and when; barrierDone the newest barrier this member has
+	// compacted behind.
+	barrierSeq  int
+	barrierAt   time.Time
+	barrierDone int
 }
 
 // Node is one cluster member: a serve.Manager for the sessions it
@@ -92,6 +123,8 @@ type Node struct {
 	// precisely what risks a dual-primary race (the old primary gives
 	// up while the promotion is still in flight).
 	adoptClient *http.Client
+
+	obs nodeObs
 
 	mu        sync.Mutex
 	primaries map[string]*primaryState
@@ -115,15 +148,21 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("cluster: member needs a WAL directory")
 	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.NewLogger(os.Stderr, obs.LevelInfo)
+	}
 	n := &Node{
 		cfg:         cfg,
 		ms:          NewMembership(cfg.ID, cfg.FailAfter, cfg.Fanout, cfg.Seed),
 		mgr:         serve.NewManager(cfg.Dir),
 		client:      &http.Client{Timeout: 10 * time.Second},
 		adoptClient: &http.Client{Timeout: 5 * time.Minute},
+		obs:         newNodeObs(cfg.Registry, cfg.Trace, log),
 		primaries:   make(map[string]*primaryState),
 		followers:   make(map[string]*followerState),
 	}
+	n.mgr.Instrument(serve.NewMetrics(cfg.Registry, cfg.Trace))
 	return n, nil
 }
 
@@ -166,8 +205,36 @@ func (n *Node) JoinCluster(seedAddr string) error {
 }
 
 // Tick advances one gossip round (heartbeat bump + push-pull with
-// random live peers).
-func (n *Node) Tick() { n.ms.Tick(n.gossipExchange) }
+// random live peers) and folds the resulting liveness transitions into
+// the membership metrics.
+func (n *Node) Tick() {
+	prev := aliveIDs(n.ms.Alive())
+	n.ms.Tick(n.gossipExchange)
+	alive := n.ms.Alive()
+	n.obs.gossipRounds.Inc()
+	n.obs.membersAlive.Set(int64(len(alive)))
+	cur := aliveIDs(alive)
+	for id := range cur {
+		if !prev[id] {
+			n.obs.memberJoins.Inc()
+			n.obs.log.Info("member alive", "component", "cluster", "member", string(n.cfg.ID), "peer", string(id))
+		}
+	}
+	for id := range prev {
+		if !cur[id] {
+			n.obs.memberFails.Inc()
+			n.obs.log.Warn("member failed", "component", "cluster", "member", string(n.cfg.ID), "peer", string(id))
+		}
+	}
+}
+
+func aliveIDs(ms []Member) map[MemberID]bool {
+	set := make(map[MemberID]bool, len(ms))
+	for _, m := range ms {
+		set[m.ID] = true
+	}
+	return set
+}
 
 func (n *Node) gossipExchange(addr string, table []Member) ([]Member, error) {
 	b, err := json.Marshal(table)
@@ -336,7 +403,9 @@ func (n *Node) syncShippers(id string) {
 	}
 	for fid := range want {
 		if _, ok := ps.shippers[fid]; !ok {
-			ps.shippers[fid] = newShipper(id, fid, ps.cfg)
+			sh := newShipper(id, fid, ps.cfg)
+			sh.obs = n.obs.forShipper(id, fid)
+			ps.shippers[fid] = sh
 		}
 	}
 }
@@ -453,6 +522,15 @@ func minAcked(fd *walFeed, shs []*shipper) int {
 func (n *Node) shipOne(fd *walFeed, sh *shipper) (advanced bool, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.obs.lagRecords != nil {
+		defer func() {
+			// Publish the link's lag SLIs where this round left it: how
+			// many records the follower's ack trails the feed by, and how
+			// old the oldest unacknowledged record is.
+			sh.obs.lagRecords.Set(int64(fd.endSeq() - sh.acked))
+			sh.obs.lagSeconds.Set(fd.lagSeconds(sh.acked, time.Now().UnixNano()))
+		}()
+	}
 	for {
 		batch, ok := sh.next(fd, n.cfg.ID)
 		if !ok {
@@ -485,6 +563,14 @@ func (n *Node) shipOne(fd *walFeed, sh *shipper) (advanced bool, err error) {
 			sh.acked = resp.Acked
 		}
 		sh.barrierSent = batch.barrier
+		sh.obs.batches.Inc()
+		if sh.acked > prev {
+			sh.obs.records.Add(int64(sh.acked - prev))
+			sh.obs.tracer.Record(int64(sh.acked), obs.StageFollowerAck)
+		}
+		if batch.count > 0 {
+			sh.obs.tracer.Record(int64(batch.from+batch.count-1), obs.StageShip)
+		}
 		if sh.acked > prev || first {
 			advanced = true
 		}
@@ -538,7 +624,13 @@ func (n *Node) maybeCompact(id string, ps *primaryState, fd *walFeed, shs []*shi
 		n.mu.Lock()
 		ps.lastCompact = pending
 		ps.pendingBarrier = 0
+		at := ps.barrierAt
+		ps.barrierAt = time.Time{}
 		n.mu.Unlock()
+		if !at.IsZero() {
+			n.obs.barrierPrimary.ObserveSince(at)
+		}
+		n.obs.log.Debug("compacted", "component", "cluster", "member", string(n.cfg.ID), "session", id, "barrier", fmt.Sprint(pending))
 		return nil
 	}
 	if seq-last < ce {
@@ -550,6 +642,7 @@ func (n *Node) maybeCompact(id string, ps *primaryState, fd *walFeed, shs []*shi
 	}
 	n.mu.Lock()
 	ps.pendingBarrier = bseq
+	ps.barrierAt = time.Now()
 	n.mu.Unlock()
 	return nil
 }
@@ -788,6 +881,7 @@ func (n *Node) holds(addr, id string) (session, replica bool, seq int) {
 // No sequence captured before the freeze can be stale, so no
 // acknowledged write is ever dropped by a rebalance.
 func (n *Node) handoff(id string, newPrimary Member) error {
+	t0 := time.Now()
 	n.mu.Lock()
 	ps, ok := n.primaries[id]
 	if !ok {
@@ -797,6 +891,7 @@ func (n *Node) handoff(id string, newPrimary Member) error {
 	sh, ok := ps.shippers[newPrimary.ID]
 	if !ok {
 		sh = newShipper(id, newPrimary.ID, ps.cfg)
+		sh.obs = n.obs.forShipper(id, newPrimary.ID)
 		ps.shippers[newPrimary.ID] = sh
 	}
 	cfg := ps.cfg
@@ -857,6 +952,10 @@ func (n *Node) handoff(id string, newPrimary Member) error {
 	if derr := n.demote(id, cfg, newPrimary.ID); err == nil {
 		err = derr
 	}
+	if err == nil {
+		n.obs.handoffLat.ObserveSince(t0)
+		n.obs.log.Info("session handed off", "component", "cluster", "member", string(n.cfg.ID), "session", id, "to", string(newPrimary.ID))
+	}
 	return err
 }
 
@@ -890,13 +989,15 @@ func (n *Node) hostsSession(addr, id string) bool {
 // ship request and by handleAdopt), never defaulted — a promoted
 // primary must ship the exact backend shape it runs.
 func (n *Node) promote(id string) error {
+	t0 := time.Now()
 	n.mu.Lock()
 	fs, ok := n.followers[id]
 	n.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("cluster: no follower state for %q", id)
 	}
-	if _, err := n.mgr.Promote(id); err != nil {
+	s, err := n.mgr.Promote(id)
+	if err != nil {
 		return err
 	}
 	n.mu.Lock()
@@ -904,13 +1005,15 @@ func (n *Node) promote(id string) error {
 	n.primaries[id] = newPrimaryState(fs.cfg, n.cfg.ShipBacklog)
 	n.mu.Unlock()
 	n.syncShippers(id)
+	n.obs.failoverLat.ObserveSince(t0)
+	n.obs.log.Info("session promoted", "component", "cluster", "member", string(n.cfg.ID), "session", id, "seq", fmt.Sprint(s.View().Seq()))
 	return nil
 }
 
 // Run drives the member until done closes: every interval one gossip
-// tick, one replication round, and one reconcile step. Step errors are
-// reported on stderr rather than swallowed — a dead replication loop
-// must be visible to the operator.
+// tick, one replication round, and one reconcile step. Step errors go
+// to the structured logger rather than being swallowed — a dead
+// replication loop must be visible to the operator.
 func (n *Node) Run(done <-chan struct{}, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
@@ -921,10 +1024,10 @@ func (n *Node) Run(done <-chan struct{}, interval time.Duration) {
 		case <-t.C:
 			n.Tick()
 			if err := n.ShipAll(); err != nil {
-				fmt.Fprintf(os.Stderr, "cluster %s: ship: %v\n", n.cfg.ID, err)
+				n.obs.log.Error("ship failed", "component", "cluster", "member", string(n.cfg.ID), "err", err.Error())
 			}
 			if err := n.Reconcile(); err != nil {
-				fmt.Fprintf(os.Stderr, "cluster %s: reconcile: %v\n", n.cfg.ID, err)
+				n.obs.log.Error("reconcile failed", "component", "cluster", "member", string(n.cfg.ID), "err", err.Error())
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -118,7 +119,8 @@ type walFeed struct {
 	nextSeq int  // seq the next record appended to the window will carry
 	base    int  // seq of entries[0] (meaningful when len(entries) > 0)
 	entries [][]byte
-	barrier int // newest compaction-barrier seq (0: none)
+	times   []int64 // unix-nano pull time of each entry (parallel to entries)
+	barrier int     // newest compaction-barrier seq (0: none)
 	cap     int
 }
 
@@ -140,6 +142,7 @@ func (fd *walFeed) pull(dir string) error {
 	if room <= 0 {
 		return nil
 	}
+	now := time.Now().UnixNano()
 	recs, pos, _, err := serve.TailWALLimit(dir, fd.pos, room)
 	if errors.Is(err, serve.ErrWALGap) {
 		fd.pos = serve.WALPos{}
@@ -194,6 +197,7 @@ func (fd *walFeed) pull(dir string) error {
 				fd.base = seq
 			}
 			fd.entries = append(fd.entries, frame)
+			fd.times = append(fd.times, now)
 			fd.nextSeq++
 		}
 	}
@@ -212,10 +216,12 @@ func (fd *walFeed) dropThroughLocked(through int) {
 	}
 	if drop >= len(fd.entries) {
 		fd.entries = nil
+		fd.times = nil
 		fd.base = 0
 		return
 	}
 	fd.entries = fd.entries[drop:]
+	fd.times = fd.times[drop:]
 	fd.base = through + 1
 }
 
@@ -256,6 +262,31 @@ func (fd *walFeed) endSeq() int {
 	return fd.nextSeq - 1
 }
 
+// lagSeconds reports how long the oldest record a follower has not
+// acknowledged has been sitting in the window — the time dimension of
+// the replication-lag SLI (0 when the follower is fully caught up, or
+// when the unacked record is not in the window, e.g. right before a
+// snapshot catch-up).
+func (fd *walFeed) lagSeconds(acked int, now int64) float64 {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if len(fd.entries) == 0 || acked >= fd.nextSeq-1 {
+		return 0
+	}
+	idx := acked + 1 - fd.base
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(fd.times) {
+		return 0
+	}
+	lag := float64(now-fd.times[idx]) / 1e9
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
 // barrierSeq is the newest compaction-barrier sequence seen (0: none).
 func (fd *walFeed) barrierSeq() int {
 	fd.mu.Lock()
@@ -280,6 +311,10 @@ type shipper struct {
 	acked       int  // follower's last acknowledged sequence
 	contacted   bool // at least one successful exchange happened
 	barrierSent int  // newest barrier seq delivered to the follower
+
+	// obs holds this link's replication-lag SLI children; updated by the
+	// node's ship loop, never inside next (the zero-alloc path).
+	obs shipperObs
 }
 
 func newShipper(session string, follower MemberID, cfg SessionConfig) *shipper {

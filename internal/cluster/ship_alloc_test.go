@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/strategy"
 	"repro/internal/trace"
 )
@@ -47,6 +48,34 @@ func TestShipBatchAssemblyZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("ship batch assembly allocates %.1f times per batch; want 0", allocs)
+	}
+}
+
+// TestShipBatchAssemblyZeroAllocInstrumented is the same gate with the
+// replication-lag SLI children attached, exercising the per-round
+// metric updates the ship loop performs alongside batch assembly:
+// counters, gauges, and trace-ring stores must all stay alloc-free.
+func TestShipBatchAssemblyZeroAllocInstrumented(t *testing.T) {
+	fd := feedWithFrames(t, 64)
+	sh := newShipper("sess", "follower-1", SessionConfig{Strategies: []string{"Minim", "CP"}, SyncEvery: 1})
+	no := newNodeObs(obs.NewRegistry(), obs.NewTraceHub(obs.DefaultTraceRing), nil)
+	sh.obs = no.forShipper("sess", "follower-1")
+	if _, ok := sh.next(fd, "primary-1"); !ok {
+		t.Fatal("warm-up batch missing")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		batch, ok := sh.next(fd, "primary-1")
+		if !ok {
+			t.Fatal("batch missing")
+		}
+		sh.obs.batches.Inc()
+		sh.obs.records.Add(int64(batch.count))
+		sh.obs.tracer.Record(int64(batch.from+batch.count-1), obs.StageShip)
+		sh.obs.lagRecords.Set(int64(fd.endSeq() - sh.acked))
+		sh.obs.lagSeconds.Set(fd.lagSeconds(sh.acked, 0))
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented ship round allocates %.1f times per batch; want 0", allocs)
 	}
 }
 

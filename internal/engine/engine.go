@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/adhoc"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/strategy"
 )
 
@@ -110,6 +112,10 @@ type Engine struct {
 	net  *adhoc.Network
 	subs []Subscriber
 	log  []strategy.Event
+	// recodeObs, when attached, times each subscriber's OnDelta —
+	// "recode microseconds by strategy" on the serve dashboards. nil
+	// (the default) costs the fanout nothing.
+	recodeObs []*obs.Histogram
 }
 
 // New returns an engine over a fresh spatially indexed network.
@@ -134,6 +140,11 @@ func (e *Engine) Subscribe(s Subscriber) { e.subs = append(e.subs, s) }
 // Subscribers returns the attached subscribers in attach order.
 func (e *Engine) Subscribers() []Subscriber { return e.subs }
 
+// InstrumentRecode attaches per-subscriber recode-latency histograms,
+// aligned with Subscribers() (missing tail entries are simply not
+// timed). Call before Apply traffic; nil detaches.
+func (e *Engine) InstrumentRecode(hs []*obs.Histogram) { e.recodeObs = hs }
+
 // Log returns the event-sourced history: every event applied, in order.
 // Callers must not mutate it.
 func (e *Engine) Log() []strategy.Event { return e.log }
@@ -157,7 +168,15 @@ func (e *Engine) Apply(ev strategy.Event) ([]strategy.Outcome, error) {
 	e.log = append(e.log, ev)
 	outs := make([]strategy.Outcome, len(e.subs))
 	for i, s := range e.subs {
+		var t0 time.Time
+		timed := i < len(e.recodeObs) && e.recodeObs[i] != nil
+		if timed {
+			t0 = time.Now()
+		}
 		out, err := s.OnDelta(d)
+		if timed {
+			e.recodeObs[i].ObserveSince(t0)
+		}
 		if err != nil {
 			return outs, fmt.Errorf("engine: subscriber %s: %w", s.Name(), err)
 		}

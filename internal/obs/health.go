@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Health is the process readiness switch behind GET /readyz: liveness
+// (/healthz, Healthz) answers "the process is up" unconditionally,
+// readiness answers "this member can do useful work" — recovery done,
+// cluster joined, not draining. A graceful drain calls
+// Set(false, "draining") BEFORE the listener closes, so a load balancer
+// stops routing to the member while it can still answer.
+type Health struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+}
+
+// NewHealth starts not-ready with the given reason.
+func NewHealth(reason string) *Health {
+	return &Health{reason: reason}
+}
+
+// Set flips readiness; reason explains a not-ready state ("" when
+// ready). Nil-safe.
+func (h *Health) Set(ready bool, reason string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready, h.reason = ready, reason
+	h.mu.Unlock()
+}
+
+// Ready reports the current state (false, "no health check" on nil).
+func (h *Health) Ready() (bool, string) {
+	if h == nil {
+		return false, "no health check"
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.reason
+}
+
+// ServeHTTP answers GET /readyz: 200 "ok" when ready, 503 with the
+// reason otherwise.
+func (h *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ready, reason := h.Ready()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if ready {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write([]byte(reason + "\n"))
+}
+
+// Healthz answers GET /healthz: always 200 — the process is running.
+func Healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry names and renders metrics. Registration (Counter, Gauge,
+// Histogram) takes a lock and may allocate — it happens at session or
+// node setup, not on hot paths; the returned metric pointers are then
+// updated lock-free. Registering the same (name, labels) again returns
+// the SAME metric, so a session recreated through recovery or promotion
+// keeps its cumulative series. A nil *Registry hands out nil metrics
+// (no-ops everywhere), which is how the whole layer compiles out when
+// no registry is attached.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeFloatGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge, typeFloatGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name     string
+	help     string
+	typ      metricType
+	children map[string]*child // keyed by rendered label string
+}
+
+type child struct {
+	labels string // `a="b",c="d"` (no braces) or ""
+	c      *Counter
+	g      *Gauge
+	gf     *FloatGauge
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelString renders variadic k,v pairs as `k="v",...` with Prometheus
+// label-value escaping. Pairs must come in key, value order; a trailing
+// odd key is ignored.
+func labelString(labels []string) string {
+	if len(labels) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		escapeLabel(&b, labels[i+1])
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+}
+
+func (r *Registry) child(name, help string, typ metricType, bounds []float64, labels []string) *child {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, children: make(map[string]*child)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	key := labelString(labels)
+	ch := f.children[key]
+	if ch == nil {
+		ch = &child{labels: key}
+		switch typ {
+		case typeCounter:
+			ch.c = &Counter{}
+		case typeGauge:
+			ch.g = &Gauge{}
+		case typeFloatGauge:
+			ch.gf = &FloatGauge{}
+		case typeHistogram:
+			ch.h = NewHistogram(bounds)
+		}
+		f.children[key] = ch
+	}
+	return ch
+}
+
+// Counter registers (or finds) a counter. labels are key, value pairs.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.child(name, help, typeCounter, nil, labels).c
+}
+
+// Gauge registers (or finds) a gauge. Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.child(name, help, typeGauge, nil, labels).g
+}
+
+// FloatGauge registers (or finds) a float-valued gauge (rendered with
+// TYPE gauge). Returns nil on a nil registry.
+func (r *Registry) FloatGauge(name, help string, labels ...string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	return r.child(name, help, typeFloatGauge, nil, labels).gf
+}
+
+// Histogram registers (or finds) a histogram over bounds (nil means
+// DefLatencyBuckets; bounds are fixed at first registration). Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.child(name, help, typeHistogram, bounds, labels).h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), families and children in
+// sorted order so the output is golden-testable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type flatChild struct {
+		labels string
+		c      *Counter
+		g      *Gauge
+		gf     *FloatGauge
+		h      *Histogram
+	}
+	type flatFamily struct {
+		name, help string
+		typ        metricType
+		children   []flatChild
+	}
+	fams := make([]flatFamily, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		ff := flatFamily{name: f.name, help: f.help, typ: f.typ}
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ch := f.children[k]
+			ff.children = append(ff.children, flatChild{labels: ch.labels, c: ch.c, g: ch.g, gf: ch.gf, h: ch.h})
+		}
+		fams = append(fams, ff)
+	}
+	r.mu.Unlock()
+
+	var b []byte
+	for _, f := range fams {
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.typ.String()...)
+		b = append(b, '\n')
+		for _, ch := range f.children {
+			switch f.typ {
+			case typeCounter:
+				b = appendSample(b, f.name, "", ch.labels, "", float64(ch.c.Value()), true)
+			case typeGauge:
+				b = appendSample(b, f.name, "", ch.labels, "", float64(ch.g.Value()), true)
+			case typeFloatGauge:
+				b = appendSample(b, f.name, "", ch.labels, "", ch.gf.Value(), false)
+			case typeHistogram:
+				cum := int64(0)
+				for i := range ch.h.buckets {
+					cum += ch.h.buckets[i].Load()
+					le := "+Inf"
+					if i < len(ch.h.bounds) {
+						le = formatFloat(ch.h.bounds[i])
+					}
+					b = appendSample(b, f.name, "_bucket", ch.labels, le, float64(cum), true)
+				}
+				b = appendSample(b, f.name, "_sum", ch.labels, "", ch.h.Sum(), false)
+				b = appendSample(b, f.name, "_count", ch.labels, "", float64(ch.h.Count()), true)
+			}
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// appendSample renders one sample line. le != "" appends an le label;
+// integer=true renders the value without a fractional part.
+func appendSample(b []byte, name, suffix, labels, le string, v float64, integer bool) []byte {
+	b = append(b, name...)
+	b = append(b, suffix...)
+	if labels != "" || le != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		if le != "" {
+			if labels != "" {
+				b = append(b, ',')
+			}
+			b = append(b, `le="`...)
+			b = append(b, le...)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	if integer && v == float64(int64(v)) {
+		b = strconv.AppendInt(b, int64(v), 10)
+	} else {
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	b = append(b, '\n')
+	return b
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Render returns the full exposition as a string (handy for in-process
+// scraping — the load generator's report path).
+func (r *Registry) Render() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	return sb.String()
+}
+
+// Handler returns the GET /metrics handler for this registry. A nil
+// registry serves an empty exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

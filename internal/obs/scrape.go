@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape is a parsed Prometheus text exposition — what a load
+// generator gets back from GET /metrics (or Registry.Render) and folds
+// into its report.
+type Scrape struct {
+	Samples []Sample
+}
+
+// ParseScrape parses the text exposition format the Registry renders
+// (comment lines skipped, optional trailing timestamps ignored).
+func ParseScrape(text string) (*Scrape, error) {
+	s := &Scrape{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		smp, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: scrape line %d: %w", ln+1, err)
+		}
+		s.Samples = append(s.Samples, smp)
+	}
+	return s, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	smp := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return smp, fmt.Errorf("no value in %q", line)
+	}
+	smp.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return smp, err
+		}
+		smp.Labels = labels
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return smp, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return smp, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	smp.Value = v
+	return smp, nil
+}
+
+// parseLabels reads a `{k="v",...}` block starting at s[0] == '{',
+// returning the index just past the closing brace.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block in %q", s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+			} else {
+				val.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing quote
+		labels[key] = val.String()
+	}
+}
+
+// matches reports whether the sample carries every given label pair
+// (the sample may carry more, e.g. le).
+func (s Sample) matches(name string, labels map[string]string) bool {
+	if s.Name != name {
+		return false
+	}
+	for k, v := range labels {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the first sample matching name and the given label
+// subset.
+func (s *Scrape) Value(name string, labels map[string]string) (float64, bool) {
+	for _, smp := range s.Samples {
+		if smp.matches(name, labels) {
+			return smp.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample matching name and the given label subset.
+func (s *Scrape) Sum(name string, labels map[string]string) float64 {
+	total := 0.0
+	for _, smp := range s.Samples {
+		if smp.matches(name, labels) {
+			total += smp.Value
+		}
+	}
+	return total
+}
+
+// Quantile estimates the q-quantile of histogram name (its _bucket
+// samples matching the given label subset), interpolating within the
+// containing bucket exactly as Histogram.Quantile does. Series that
+// share a bucket bound are merged by summing their cumulative counts,
+// so a loose label subset aggregates across children (e.g. one apply
+// latency over every session). The second result is false when the
+// histogram is absent or empty.
+func (s *Scrape) Quantile(name string, labels map[string]string, q float64) (float64, bool) {
+	type bk struct {
+		le  float64
+		cum float64
+	}
+	merged := map[float64]float64{}
+	for _, smp := range s.Samples {
+		if !smp.matches(name+"_bucket", labels) {
+			continue
+		}
+		leStr, ok := smp.Labels["le"]
+		if !ok {
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			if leStr == "+Inf" {
+				le = inf()
+			} else {
+				continue
+			}
+		}
+		merged[le] += smp.Value
+	}
+	if len(merged) == 0 {
+		return 0, false
+	}
+	bks := make([]bk, 0, len(merged))
+	for le, cum := range merged {
+		bks = append(bks, bk{le: le, cum: cum})
+	}
+	sort.Slice(bks, func(i, j int) bool { return bks[i].le < bks[j].le })
+	total := bks[len(bks)-1].cum
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	prevCum, prevLe := 0.0, 0.0
+	for i, b := range bks {
+		if b.cum >= rank && b.cum > prevCum {
+			if isInf(b.le) {
+				if i > 0 {
+					return bks[i-1].le, true
+				}
+				return 0, true
+			}
+			frac := (rank - prevCum) / (b.cum - prevCum)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return prevLe + (b.le-prevLe)*frac, true
+		}
+		prevCum, prevLe = b.cum, b.le
+	}
+	last := bks[len(bks)-1].le
+	if isInf(last) && len(bks) > 1 {
+		last = bks[len(bks)-2].le
+	}
+	return last, true
+}
+
+func inf() float64         { return math.Inf(1) }
+func isInf(v float64) bool { return math.IsInf(v, 1) }

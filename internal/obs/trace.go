@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceStage names one point in an event's life across the stack.
+type TraceStage uint8
+
+const (
+	// StageEnqueue: the event was admitted to the session mailbox.
+	StageEnqueue TraceStage = iota
+	// StageApply: the writer applied it through the backend.
+	StageApply
+	// StageViewPublish: a read view reflecting it was published.
+	StageViewPublish
+	// StageFsync: the WAL prefix containing it was fsynced.
+	StageFsync
+	// StageShip: a replication batch containing it was sent.
+	StageShip
+	// StageFollowerAck: a follower acknowledged (applied + fsynced)
+	// through it.
+	StageFollowerAck
+)
+
+var stageNames = [...]string{"enqueue", "apply", "view-publish", "fsync", "ship", "follower-ack"}
+
+func (s TraceStage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// traceEntry is one recorded stage: fixed-size, so the ring never
+// allocates after construction.
+type traceEntry struct {
+	seq   int64
+	stage TraceStage
+	at    int64 // unix nanoseconds
+}
+
+// Tracer is one session's event-stage ring buffer. Record is cheap
+// (a mutex'd struct store, no allocation) and keeps only the newest
+// RingSize entries; the ring is a flight recorder, not a log. A nil
+// Tracer is a no-op.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []traceEntry
+	next int
+	full bool
+}
+
+// DefaultTraceRing is the per-session ring capacity a TraceHub uses
+// when none is given.
+const DefaultTraceRing = 256
+
+// NewTracer builds a tracer with the given ring capacity (<= 0 means
+// DefaultTraceRing).
+func NewTracer(ring int) *Tracer {
+	if ring <= 0 {
+		ring = DefaultTraceRing
+	}
+	return &Tracer{ring: make([]traceEntry, ring)}
+}
+
+// Record notes that seq reached stage now.
+func (t *Tracer) Record(seq int64, stage TraceStage) {
+	if t == nil {
+		return
+	}
+	at := time.Now().UnixNano()
+	t.mu.Lock()
+	t.ring[t.next] = traceEntry{seq: seq, stage: stage, at: at}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// WriteJSON dumps the ring, oldest entry first, as a JSON array of
+// {"seq":N,"stage":"apply","at_unix_ns":T} objects.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var entries []traceEntry
+	if t != nil {
+		t.mu.Lock()
+		if t.full {
+			entries = append(entries, t.ring[t.next:]...)
+			entries = append(entries, t.ring[:t.next]...)
+		} else {
+			entries = append(entries, t.ring[:t.next]...)
+		}
+		t.mu.Unlock()
+	}
+	b := []byte{'['}
+	for i, e := range entries {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"seq":`...)
+		b = strconv.AppendInt(b, e.seq, 10)
+		b = append(b, `,"stage":"`...)
+		b = append(b, e.stage.String()...)
+		b = append(b, `","at_unix_ns":`...)
+		b = strconv.AppendInt(b, e.at, 10)
+		b = append(b, '}')
+	}
+	b = append(b, ']', '\n')
+	_, err := w.Write(b)
+	return err
+}
+
+// TraceHub hands out per-session tracers. A nil hub hands out nil
+// tracers, which is how tracing compiles out when not enabled.
+type TraceHub struct {
+	mu      sync.Mutex
+	ring    int
+	tracers map[string]*Tracer
+}
+
+// NewTraceHub builds a hub whose tracers hold ring entries each (<= 0
+// means DefaultTraceRing).
+func NewTraceHub(ring int) *TraceHub {
+	if ring <= 0 {
+		ring = DefaultTraceRing
+	}
+	return &TraceHub{ring: ring, tracers: make(map[string]*Tracer)}
+}
+
+// Tracer returns the session's tracer, creating it on first use.
+// Returns nil on a nil hub.
+func (h *TraceHub) Tracer(session string) *Tracer {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t := h.tracers[session]
+	if t == nil {
+		t = NewTracer(h.ring)
+		h.tracers[session] = t
+	}
+	return t
+}
+
+// Handler serves GET /debug/trace/{session}: the session's ring as
+// JSON. Unknown sessions (or a nil hub) answer an empty array — the
+// trace is a debug surface, absence is not an error.
+func (h *TraceHub) Handler(prefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		session := req.URL.Path[len(prefix):]
+		var t *Tracer
+		if h != nil {
+			h.mu.Lock()
+			t = h.tracers[session]
+			h.mu.Unlock()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		t.WriteJSON(w)
+	})
+}

@@ -16,6 +16,7 @@ import (
 // never on the apply or read paths).
 type Manager struct {
 	dir string // WAL root; "" disables durability
+	mx  *Metrics
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
@@ -27,6 +28,17 @@ type Manager struct {
 func NewManager(dir string) *Manager {
 	return &Manager{dir: dir, sessions: make(map[string]*Session), replicas: make(map[string]*Replica)}
 }
+
+// Instrument attaches an observability bundle: every session and
+// replica created (or recovered, or promoted) after the call registers
+// its metric children and trace ring there. Call once, before session
+// traffic; a nil bundle (the default) leaves every instrumentation
+// point a no-op.
+func (m *Manager) Instrument(mx *Metrics) { m.mx = mx }
+
+// Metrics returns the attached observability bundle (nil when
+// uninstrumented).
+func (m *Manager) Metrics() *Metrics { return m.mx }
 
 // ErrSessionExists rejects creating a session whose ID is taken.
 var ErrSessionExists = errors.New("serve: session already exists")
@@ -92,6 +104,7 @@ func (m *Manager) Create(id string, cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.metrics = m.mx
 	s, err := newSession(id, cfg, path)
 	if err != nil {
 		return nil, err
@@ -124,6 +137,7 @@ func (m *Manager) Open(id string, cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.metrics = m.mx
 	s, err := restoreSession(id, cfg, path)
 	if err != nil {
 		return nil, err

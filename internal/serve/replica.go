@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/adhoc"
+	"repro/internal/obs"
 	"repro/internal/strategy"
 	"repro/internal/toca"
 	"repro/internal/trace"
@@ -157,6 +158,9 @@ func (r *Replica) Offer(from int, evs []strategy.Event) (int, error) {
 			return s.seq, err
 		}
 	}
+	// The batch is durable and applied: this is the moment the follower's
+	// ack (the returned offset) is earned.
+	s.obs.tracer.Record(int64(s.seq), obs.StageFollowerAck)
 	return s.seq, nil
 }
 
@@ -216,6 +220,7 @@ func (m *Manager) NewReplica(id string, cfg Config, snap trace.Snapshot) (*Repli
 		return nil, fmt.Errorf("serve: manager has no WAL directory for replica %q", id)
 	}
 	cfg = replicaConfig(cfg)
+	cfg.metrics = m.mx
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.sessions[id]; ok {
@@ -258,6 +263,7 @@ func (m *Manager) OpenReplica(id string, cfg Config) (*Replica, error) {
 		return nil, fmt.Errorf("serve: manager has no WAL directory to open replica %q from", id)
 	}
 	cfg = replicaConfig(cfg)
+	cfg.metrics = m.mx
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.sessions[id]; ok {
@@ -295,6 +301,7 @@ func (m *Manager) InstallReplica(id string, cfg Config, src io.Reader) (*Replica
 		return nil, fmt.Errorf("serve: manager has no WAL directory for replica %q", id)
 	}
 	cfg = replicaConfig(cfg)
+	cfg.metrics = m.mx
 	m.mu.Lock()
 	if _, ok := m.sessions[id]; ok {
 		m.mu.Unlock()

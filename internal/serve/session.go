@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adhoc"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/strategy"
 	"repro/internal/toca"
@@ -62,6 +64,12 @@ type Config struct {
 	// Shard configures the sharded backend (grid + arena); required when
 	// the threshold selects it.
 	Shard shard.Config
+
+	// metrics is the observability bundle the owning Manager injects
+	// (Manager.Instrument); nil leaves every instrumentation point a
+	// no-op. Unexported on purpose: sessions are instrumented through
+	// their manager, not per-config.
+	metrics *Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +192,11 @@ type Session struct {
 	wal     *wal
 	err     error
 
+	// Observability (no-op zero values when uninstrumented).
+	obs          sessionObs
+	submits      atomic.Int64 // enqueue-stage seq estimate for the tracer
+	pendingSince time.Time    // apply time of the oldest unpublished shard event
+
 	done chan struct{}
 }
 
@@ -199,6 +212,7 @@ func newSession(id string, cfg Config, walPath string) (*Session, error) {
 	if cfg.sharded() {
 		sc := cfg.Shard
 		sc.Validate = cfg.Validate
+		sc.Obs = cfg.metrics.forShard(id, sc.Shards())
 		s.coord, err = shard.New(sc, specs)
 		if err != nil {
 			return nil, err
@@ -211,6 +225,7 @@ func newSession(id string, cfg Config, walPath string) (*Session, error) {
 			s.eng.Subscribe(h)
 			s.hosted = append(s.hosted, h)
 		}
+		s.eng.InstrumentRecode(cfg.metrics.forRecode(id, cfg.Strategies))
 	}
 	s.metrics = make([]*strategy.Metrics, len(specs))
 	for i := range s.metrics {
@@ -229,7 +244,9 @@ func newSession(id string, cfg Config, walPath string) (*Session, error) {
 		}
 		s.wal.syncEvery = cfg.SyncEvery
 		s.wal.segmentBytes = int64(cfg.SegmentBytes)
+		s.wal.obs = cfg.metrics.forWAL(id)
 	}
+	s.obs = cfg.metrics.forSession(id)
 	s.view.Store(newView(cfg.Strategies))
 	go s.run()
 	return s, nil
@@ -285,6 +302,7 @@ func buildSession(id string, cfg Config, walPath string) (*Session, error) {
 		}
 		sc := cfg.Shard
 		sc.Validate = cfg.Validate
+		sc.Obs = cfg.metrics.forShard(id, sc.Shards())
 		s.coord, err = shard.New(sc, specs)
 		if err != nil {
 			return fail(err)
@@ -336,7 +354,14 @@ func buildSession(id string, cfg Config, walPath string) (*Session, error) {
 				return fail(err)
 			}
 		}
+		s.eng.InstrumentRecode(cfg.metrics.forRecode(id, cfg.Strategies))
 	}
+	// Instrument only after the tail replay: recovery re-applies are not
+	// service traffic and must not pollute the latency series.
+	s.obs = cfg.metrics.forSession(id)
+	s.wal.obs = cfg.metrics.forWAL(id)
+	s.obs.viewSeq.Set(int64(s.seq))
+	s.submits.Store(int64(s.seq))
 	return s, nil
 }
 
@@ -396,6 +421,7 @@ func (s *Session) Watch() (<-chan Delta, func()) {
 	}
 	s.watchMu.Lock()
 	s.watchers = append(s.watchers, w)
+	s.obs.watchers.Set(int64(len(s.watchers)))
 	s.watchMu.Unlock()
 	s.submitMu.RUnlock()
 	cancel := func() {
@@ -406,6 +432,7 @@ func (s *Session) Watch() (<-chan Delta, func()) {
 				break
 			}
 		}
+		s.obs.watchers.Set(int64(len(s.watchers)))
 		s.watchMu.Unlock()
 		w.stop()
 	}
@@ -528,8 +555,16 @@ func (s *Session) enqueue(req request) error {
 	}
 	select {
 	case s.mail <- req:
+		if s.obs.on && req.kind == reqEvent {
+			s.obs.mailboxDepth.Set(int64(len(s.mail)))
+			// The enqueue-stage seq is an estimate: submissions later
+			// refused by the engine consume a number without consuming a
+			// sequence. Good enough for a flight recorder.
+			s.obs.tracer.Record(s.submits.Add(1), obs.StageEnqueue)
+		}
 		return nil
 	default:
+		s.obs.rejected.Inc()
 		return ErrBackpressure
 	}
 }
@@ -585,6 +620,9 @@ func (s *Session) run() {
 			req.res <- s.finish(req.kind == reqAbort)
 			return
 		}
+		if s.obs.on {
+			s.obs.mailboxDepth.Set(int64(len(s.mail)))
+		}
 		if len(s.mail) == 0 {
 			s.drainPoint()
 		}
@@ -619,6 +657,10 @@ func (s *Session) poison(err error) {
 // applyEngine is the single-engine per-event path. logIt is false only
 // during WAL restore (the event is already durable).
 func (s *Session) applyEngine(ev strategy.Event, logIt bool) error {
+	var t0 time.Time
+	if s.obs.on {
+		t0 = time.Now()
+	}
 	outs, err := s.eng.Apply(ev)
 	if err != nil {
 		if outs == nil {
@@ -657,6 +699,17 @@ func (s *Session) applyEngine(ev strategy.Event, logIt bool) error {
 	}
 	nv := s.view.Load().next(ev, postCfg, s.eng.Network().Size(), outs, s.metrics)
 	s.view.Store(nv)
+	if s.obs.on {
+		if logIt {
+			s.obs.applied.Inc()
+		}
+		s.obs.applyLat.ObserveSince(t0)
+		s.obs.viewSeq.Set(int64(s.seq))
+		s.obs.viewPublishes.Inc()
+		s.obs.viewAge.ObserveSince(t0)
+		s.obs.tracer.Record(int64(s.seq), obs.StageApply)
+		s.obs.tracer.Record(int64(s.seq), obs.StageViewPublish)
+	}
 	s.notify(Delta{Seq: s.seq, Event: ev, Recoded: recodedByName(s.cfg.Strategies, outs)})
 	if logIt && s.wal != nil && s.cfg.CompactEvery > 0 && s.wal.tail >= s.cfg.CompactEvery {
 		if err := s.compact(); err != nil {
@@ -671,6 +724,10 @@ func (s *Session) applyEngine(ev strategy.Event, logIt bool) error {
 // coordinator (interior ones run concurrently across region workers) and
 // the view is republished at sync points instead of per event.
 func (s *Session) applyShard(ev strategy.Event, logIt bool) error {
+	var t0 time.Time
+	if s.obs.on {
+		t0 = time.Now()
+	}
 	if err := s.coord.Apply([]strategy.Event{ev}); err != nil {
 		s.poison(err)
 		return err
@@ -682,6 +739,16 @@ func (s *Session) applyShard(ev strategy.Event, logIt bool) error {
 		}
 	}
 	s.seq++
+	if s.obs.on {
+		if s.pending == 0 {
+			s.pendingSince = t0
+		}
+		if logIt {
+			s.obs.applied.Inc()
+		}
+		s.obs.applyLat.ObserveSince(t0)
+		s.obs.tracer.Record(int64(s.seq), obs.StageApply)
+	}
 	s.pending++
 	return nil
 }
@@ -728,6 +795,15 @@ func (s *Session) syncShardView() error {
 	prev := s.view.Load()
 	nv := rebuildView(s.seq, net, names, assigns, metrics)
 	s.view.Store(nv)
+	if s.obs.on {
+		s.obs.viewSeq.Set(int64(s.seq))
+		s.obs.viewPublishes.Inc()
+		if !s.pendingSince.IsZero() {
+			s.obs.viewAge.ObserveSince(s.pendingSince)
+			s.pendingSince = time.Time{}
+		}
+		s.obs.tracer.Record(int64(s.seq), obs.StageViewPublish)
+	}
 	s.pending = 0
 	// Coalesced delta: the diff between the two published views.
 	rec := make(map[string]map[graph.NodeID]toca.Color, len(names))
@@ -798,6 +874,7 @@ func (s *Session) finish(abort bool) error {
 	s.watchMu.Lock()
 	ws := s.watchers
 	s.watchers = nil
+	s.obs.watchers.Set(0)
 	s.watchMu.Unlock()
 	for _, w := range ws {
 		w.stop()
@@ -811,6 +888,7 @@ func (s *Session) notify(d Delta) {
 	s.watchMu.Unlock()
 	for _, w := range ws {
 		if !w.deliver(d) {
+			s.obs.watchDrops.Inc()
 			s.watchMu.Lock()
 			for i, x := range s.watchers {
 				if x == w {
@@ -818,6 +896,7 @@ func (s *Session) notify(d Delta) {
 					break
 				}
 			}
+			s.obs.watchers.Set(int64(len(s.watchers)))
 			s.watchMu.Unlock()
 		}
 	}

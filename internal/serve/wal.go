@@ -11,9 +11,24 @@ import (
 	"strconv"
 	"strings"
 
+	"time"
+
+	"repro/internal/obs"
 	"repro/internal/strategy"
 	"repro/internal/trace"
 )
+
+// walObs holds one WAL's metric children, resolved once at session
+// build (Metrics.forWAL). The zero value is the uninstrumented no-op
+// state — every field nil, so the hot-path updates cost one nil check.
+type walObs struct {
+	bytes       *obs.Counter   // serve_wal_appended_bytes_total
+	records     *obs.Counter   // serve_wal_records_total
+	fsyncs      *obs.Counter   // serve_wal_fsyncs_total
+	fsyncLat    *obs.Histogram // serve_fsync_seconds
+	compactions *obs.Counter   // serve_wal_compactions_total
+	tracer      *obs.Tracer
+}
 
 // wal is one session's durable write-ahead log: a directory of
 // newline-delimited JSON segment files (the internal/trace record
@@ -53,6 +68,7 @@ type wal struct {
 	sinceSync    int
 	seq          int    // event-log position of the last appended record
 	encBuf       []byte // reusable frame-encode buffer: appends allocate nothing at steady state
+	obs          walObs
 }
 
 // segName formats a segment file name; the fixed width keeps
@@ -126,6 +142,7 @@ func startsWithSnapshot(p string) bool {
 func (w *wal) writeFrame(b []byte) error {
 	n, err := w.bw.Write(b)
 	w.size += int64(n)
+	w.obs.bytes.Add(int64(n))
 	return err
 }
 
@@ -314,6 +331,7 @@ func (w *wal) append(ev strategy.Event) error {
 	w.seq++
 	w.tail++
 	w.sinceSync++
+	w.obs.records.Inc()
 	if w.syncEvery > 0 && w.sinceSync >= w.syncEvery {
 		return w.sync()
 	}
@@ -347,6 +365,7 @@ func (w *wal) rotate() error {
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.obs.fsyncs.Inc()
 	if err := w.f.Close(); err != nil {
 		return err
 	}
@@ -373,7 +392,19 @@ func (w *wal) sync() error {
 		return err
 	}
 	w.sinceSync = 0
-	return w.f.Sync()
+	var t0 time.Time
+	if w.obs.fsyncLat != nil {
+		t0 = time.Now()
+	}
+	err := w.f.Sync()
+	if err == nil {
+		w.obs.fsyncs.Inc()
+		if w.obs.fsyncLat != nil {
+			w.obs.fsyncLat.ObserveSince(t0)
+		}
+		w.obs.tracer.Record(int64(w.seq), obs.StageFsync)
+	}
+	return err
 }
 
 // compact replaces the log's prefix with a fresh snapshot: the snapshot
@@ -425,6 +456,8 @@ func (w *wal) compact(snap trace.Snapshot) error {
 	w.size = size
 	w.tail = 0
 	w.sinceSync = 0
+	w.obs.compactions.Inc()
+	w.obs.bytes.Add(size)
 	return nil
 }
 

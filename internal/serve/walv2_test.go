@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/strategy"
 	"repro/internal/trace"
 )
@@ -230,6 +231,40 @@ func TestWALAppendZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("wal.append allocates %.1f times per record; want 0", allocs)
+	}
+}
+
+// TestWALAppendZeroAllocInstrumented is the same gate with a full
+// metrics bundle attached: counter increments and trace-ring stores on
+// the append path must not reintroduce allocations.
+func TestWALAppendZeroAllocInstrumented(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "alloc-obs.wal")
+	snap := trace.Snapshot{Version: trace.SnapshotVersion}
+	w, err := createWAL(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	mx := NewMetrics(obs.NewRegistry(), obs.NewTraceHub(obs.DefaultTraceRing))
+	w.obs = mx.forWAL("alloc-obs")
+	evs := walScript(4)
+	for _, ev := range evs {
+		if err := w.append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.append(evs[i%len(evs)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented wal.append allocates %.1f times per record; want 0", allocs)
+	}
+	if got := w.obs.records.Value(); got == 0 {
+		t.Fatal("instrumented append did not count records")
 	}
 }
 
