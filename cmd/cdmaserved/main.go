@@ -35,11 +35,22 @@
 // Observability (both modes — metric catalog in docs/observability.md):
 //
 //	GET /metrics            Prometheus text exposition
+//	GET /slo                objective verdicts (ratio, burn rate, breach)
 //	GET /debug/trace/{id}   per-session event trace rings (JSON)
 //	GET /healthz            process liveness (always 200)
 //	GET /readyz             readiness: 200 once recovered and joined,
 //	                        503 while starting or draining
 //	GET /debug/pprof/...    runtime profiles, only with -pprof
+//
+// Cluster mode additionally serves GET /cluster/metrics — the merged,
+// fleet-wide exposition (every live member scraped and aggregated; see
+// cmd/cdmatop for the terminal view).
+//
+// -canary runs an in-process black-box prober against this process's
+// own public API: a synthetic session probed every second (write →
+// read-your-write → watch), published as canary_* SLIs and evaluated
+// by the built-in SLO objectives — a sustained canary outage degrades
+// /readyz via the "canary-availability" objective.
 //
 // -log-level (debug|info|warn|error) filters the structured stderr
 // log. SIGINT/SIGTERM flip /readyz to 503 first, then drain every
@@ -55,9 +66,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/canary"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -74,6 +87,7 @@ func main() {
 		interval  = flag.Duration("interval", 500*time.Millisecond, "gossip/ship/reconcile loop interval (cluster mode)")
 		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		canaryOn  = flag.Bool("canary", false, "run an in-process black-box canary against this process's own API")
 	)
 	flag.Parse()
 
@@ -89,11 +103,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	slo := obs.NewSLO(reg, health, defaultObjectives()...)
+
 	if *clustered {
 		runCluster(ctx, clusterOpts{
 			addr: *addr, dir: *dir, id: *id, join: *join,
 			replicas: *replicas, interval: *interval,
-			reg: reg, hub: hub, log: logger, health: health, pprof: *pprofOn,
+			reg: reg, hub: hub, log: logger, health: health, slo: slo,
+			pprof: *pprofOn, canary: *canaryOn,
 		})
 		return
 	}
@@ -103,6 +120,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", serve.NewHandler(m))
 	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /slo", slo.Handler())
 	mux.Handle("GET /debug/trace/", hub.Handler("/debug/trace/"))
 	mux.HandleFunc("GET /healthz", obs.Healthz)
 	mux.Handle("GET /readyz", health)
@@ -114,6 +132,26 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	health.Set(true, "")
+	// Standalone mode has no reconcile loop, so the SLO engine gets its
+	// own ticker (cluster mode evaluates inside Node.Run).
+	go func() {
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				slo.Tick(time.Now())
+			}
+		}
+	}()
+	if *canaryOn {
+		pr := canary.New(canary.Config{
+			Target: selfTarget(*addr), Registry: reg, Log: logger,
+		})
+		go pr.Run(ctx.Done())
+	}
 	logger.Info("listening", "component", "serve", "addr", *addr, "dir", *dir)
 
 	select {
@@ -146,7 +184,43 @@ type clusterOpts struct {
 	hub                 *obs.TraceHub
 	log                 *obs.Logger
 	health              *obs.Health
+	slo                 *obs.SLO
 	pprof               bool
+	canary              bool
+}
+
+// defaultObjectives are the built-in SLOs every cdmaserved evaluates:
+// both ride the canary's black-box SLIs, so without -canary (or an
+// external canary publishing into this registry) they stay at zero
+// traffic and never breach.
+func defaultObjectives() []obs.Objective {
+	return []obs.Objective{
+		{
+			Name:     "canary-availability",
+			Good:     obs.Selector{Name: "canary_probe_total", Labels: map[string]string{"result": "ok"}},
+			Total:    obs.Selector{Name: "canary_probe_total"},
+			Target:   0.99,
+			Window:   5 * time.Minute,
+			Critical: true,
+		},
+		{
+			Name:      "canary-write-ack-latency",
+			Latency:   obs.Selector{Name: "canary_write_ack_seconds"},
+			Threshold: 0.25,
+			Target:    0.99,
+			Window:    5 * time.Minute,
+		},
+	}
+}
+
+// selfTarget turns a listen address into a dialable one for the
+// in-process canary (":8080" listens on every interface; the canary
+// dials loopback).
+func selfTarget(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "127.0.0.1" + addr
+	}
+	return addr
 }
 
 func runCluster(ctx context.Context, o clusterOpts) {
@@ -164,6 +238,7 @@ func runCluster(ctx context.Context, o clusterOpts) {
 		Trace:    o.hub,
 		Log:      o.log,
 		Health:   o.health,
+		SLO:      o.slo,
 		Pprof:    o.pprof,
 	})
 	if err != nil {
@@ -190,6 +265,15 @@ func runCluster(ctx context.Context, o clusterOpts) {
 	go func() {
 		n.Run(done, o.interval)
 	}()
+	if o.canary {
+		// Cluster-surface canary against our own listener: the session
+		// it probes is placed by rendezvous like any tenant, so the
+		// probes exercise routing, replication, and failover for real.
+		pr := canary.New(canary.Config{
+			Target: n.Addr(), Cluster: true, Registry: o.reg, Log: o.log,
+		})
+		go pr.Run(done)
+	}
 	<-ctx.Done()
 	close(done)
 	// Readiness goes first, then the drain: peers and balancers see the

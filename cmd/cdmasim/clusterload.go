@@ -470,6 +470,42 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 	applyP99, _ := sc.Quantile("serve_apply_seconds", sessLabel, 0.99)
 	failoverS, _ := sc.Value("cluster_failover_seconds_sum", nil)
 
+	// And through the fleet-wide surface: ANY survivor's /cluster/metrics
+	// merges the whole fleet, so the one page must show the dead member
+	// down, every survivor up, and the session at its final seq.
+	fresp, err := client.Get("http://" + anyAddr() + "/cluster/metrics")
+	if err != nil {
+		fail(fmt.Errorf("scraping merged fleet metrics: %w", err))
+	}
+	fbody, err := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	if err != nil || fresp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("scraping merged fleet metrics: HTTP %d err %v", fresp.StatusCode, err))
+	}
+	fsc, err := obs.ParseScrape(string(fbody))
+	if err != nil {
+		fail(fmt.Errorf("merged fleet exposition does not parse: %w", err))
+	}
+	upMembers := 0
+	for _, id := range order {
+		up, found := fsc.Value(obs.MemberUpFamily, map[string]string{"member": string(id)})
+		switch {
+		case !found:
+			fail(fmt.Errorf("merged fleet page is missing %s for member %s", obs.MemberUpFamily, id))
+		case crashed[id] && up != 0:
+			fail(fmt.Errorf("merged fleet page reports crashed member %s up", id))
+		case !crashed[id] && up != 1:
+			fail(fmt.Errorf("merged fleet page reports live member %s down", id))
+		default:
+			if up == 1 {
+				upMembers++
+			}
+		}
+	}
+	if seq, ok := fsc.Value("serve_view_seq", sessLabel); !ok || int(seq) != len(script) {
+		fail(fmt.Errorf("merged fleet page reports serve_view_seq %.0f (found %v), want %d", seq, ok, len(script)))
+	}
+
 	fmt.Printf("cluster load    : %d members, %d replicas, primary %s killed at event %d\n", members, replicas, primary, killAt)
 	fmt.Printf("events applied  : %d (+%d resubmitted after failover, %d backpressure retries, %.0f events/s)\n",
 		len(script), killAt-resumedFrom, rejected, float64(applied)/elapsed.Seconds())
@@ -478,4 +514,6 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 	fmt.Printf("CA1/CA2         : valid for all 3 strategies on the promoted primary AND through follower-served reads (%d nodes checked)\n", checkedNodes)
 	fmt.Printf("metrics         : serve_view_seq %d (zero loss), promotion took %.1fms, apply p50 %.0fus p99 %.0fus — scraped from /metrics\n",
 		len(script), failoverS*1e3, applyP50*1e6, applyP99*1e6)
+	fmt.Printf("fleet metrics   : merged /cluster/metrics agrees — %d/%d members up, crashed %s down, session at seq %d\n",
+		upMembers, members, primary, len(script))
 }

@@ -1,0 +1,102 @@
+// Command cdmatop is a terminal dashboard for a cdmaserved fleet: it
+// polls any member's GET /cluster/metrics (the merged, fleet-wide
+// exposition) and GET /slo (the member's objective verdicts) and draws
+// members, sessions, replication lag, canary SLIs, and error-budget
+// burn on one plain-ANSI screen.
+//
+// Usage:
+//
+//	cdmatop [-addr 127.0.0.1:8080] [-interval 2s] [-once]
+//
+// -once renders a single frame to stdout with no escape codes and
+// exits — scriptable (CI smoke checks, cron snapshots); the exit code
+// is nonzero when the member cannot be reached.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "any fleet member's address")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "render one frame and exit (no escape codes)")
+	)
+	flag.Parse()
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	frame := func() error {
+		sc, verdicts, err := fetch(client, base)
+		if err != nil {
+			return err
+		}
+		render(os.Stdout, *addr, sc, verdicts, time.Now())
+		return nil
+	}
+
+	if *once {
+		if err := frame(); err != nil {
+			fmt.Fprintf(os.Stderr, "cdmatop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for {
+		// Home + clear-to-end redraw: flicker-free on any ANSI terminal.
+		fmt.Print("\x1b[H\x1b[2J")
+		if err := frame(); err != nil {
+			fmt.Printf("cdmatop: %v (retrying)\n", err)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch pulls one merged exposition and one verdict set from a member.
+// The /slo endpoint is best-effort: a member without an SLO engine
+// serves an empty verdict list, and older members without the route at
+// all just leave the SLO pane empty.
+func fetch(client *http.Client, base string) (*obs.Scrape, []obs.Verdict, error) {
+	resp, err := client.Get(base + "/cluster/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET /cluster/metrics: %s", resp.Status)
+	}
+	sc, err := obs.ParseScrape(string(body))
+	if err != nil {
+		return nil, nil, fmt.Errorf("merged exposition: %w", err)
+	}
+
+	var verdicts []obs.Verdict
+	if resp, err := client.Get(base + "/slo"); err == nil {
+		var out struct {
+			Verdicts []obs.Verdict `json:"verdicts"`
+		}
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&out) == nil {
+			verdicts = out.Verdicts
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return sc, verdicts, nil
+}

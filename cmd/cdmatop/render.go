@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// render draws one frame of the fleet dashboard from a merged
+// /cluster/metrics scrape plus /slo verdicts. Plain text, fixed-width
+// columns, newest data wins — the terminal handling (clearing, pacing)
+// stays in the caller so this is directly unit-testable.
+func render(w io.Writer, target string, sc *obs.Scrape, verdicts []obs.Verdict, at time.Time) {
+	fmt.Fprintf(w, "cdmatop — %s — %s\n", target, at.Format("15:04:05"))
+
+	fmt.Fprintf(w, "\nMEMBERS\n")
+	members := labelValues(sc, obs.MemberUpFamily, "member")
+	if len(members) == 0 {
+		fmt.Fprintln(w, "  (no cluster_member_up samples — is this a cluster endpoint?)")
+	}
+	for _, m := range members {
+		up, _ := sc.Value(obs.MemberUpFamily, map[string]string{"member": m})
+		state := "DOWN"
+		if up == 1 {
+			state = "up"
+		}
+		line := fmt.Sprintf("  %-12s %-4s", m, state)
+		if alive, ok := sc.Value("cluster_members_alive", map[string]string{"member": m}); ok {
+			line += fmt.Sprintf("  sees %d alive", int(alive))
+		}
+		fmt.Fprintln(w, line)
+	}
+
+	fmt.Fprintf(w, "\nSESSIONS\n")
+	sessions := labelValues(sc, "serve_view_seq", "session")
+	if len(sessions) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	} else {
+		fmt.Fprintf(w, "  %-16s %10s %10s %8s %12s %12s\n",
+			"session", "seq", "applied", "watchers", "lag-records", "lag-max")
+	}
+	for _, s := range sessions {
+		lbl := map[string]string{"session": s}
+		seq, _ := sc.Value("serve_view_seq", lbl)
+		applied := sc.Sum("serve_events_applied_total", lbl)
+		watchers := sc.Sum("serve_watchers", lbl)
+		lagRecs := sc.Sum("cluster_ship_lag_records", lbl)
+		lagMax := 0.0
+		for _, smp := range sc.Samples {
+			if smp.Name == "cluster_ship_lag_seconds" && smp.Labels["session"] == s && smp.Value > lagMax {
+				lagMax = smp.Value
+			}
+		}
+		fmt.Fprintf(w, "  %-16s %10d %10d %8d %12d %12s\n",
+			s, int(seq), int(applied), int(watchers), int(lagRecs), seconds(lagMax))
+	}
+
+	fmt.Fprintf(w, "\nCANARY\n")
+	probes := labelValues(sc, "canary_probe_total", "session")
+	if len(probes) == 0 {
+		fmt.Fprintln(w, "  (no canary publishing into this fleet)")
+	}
+	for _, s := range probes {
+		lbl := map[string]string{"session": s}
+		ok, _ := sc.Value("canary_probe_total", map[string]string{"session": s, "result": "ok"})
+		bad, _ := sc.Value("canary_probe_total", map[string]string{"session": s, "result": "error"})
+		fmt.Fprintf(w, "  %-16s ok %d  err %d", s, int(ok), int(bad))
+		if p99, found := sc.Quantile("canary_write_ack_seconds", lbl, 0.99); found {
+			fmt.Fprintf(w, "  write-ack p99 %s", seconds(p99))
+		}
+		if p99, found := sc.Quantile("canary_read_staleness_seconds", lbl, 0.99); found {
+			fmt.Fprintf(w, "  staleness p99 %s", seconds(p99))
+		}
+		if p99, found := sc.Quantile("canary_watch_delivery_seconds", lbl, 0.99); found {
+			fmt.Fprintf(w, "  watch p99 %s", seconds(p99))
+		}
+		fmt.Fprintln(w)
+		if n, _ := sc.Value("canary_blackouts_total", lbl); n > 0 {
+			last, _ := sc.Value("canary_last_blackout_seconds", lbl)
+			fmt.Fprintf(w, "  %-16s blackouts %d  last %s\n", "", int(n), seconds(last))
+		}
+	}
+
+	fmt.Fprintf(w, "\nSLO\n")
+	if len(verdicts) == 0 {
+		fmt.Fprintln(w, "  (no objectives configured)")
+	} else {
+		fmt.Fprintf(w, "  %-24s %8s %8s %10s  %s\n", "objective", "ratio", "target", "burn", "state")
+	}
+	for _, v := range verdicts {
+		state := "ok"
+		if v.Breached {
+			state = "BREACH"
+			if v.Critical {
+				state = "BREACH(critical)"
+			}
+		}
+		fmt.Fprintf(w, "  %-24s %8.4f %8.4f %10.2f  %s\n", v.Name, v.Ratio, v.Target, v.BurnRate, state)
+	}
+}
+
+// labelValues collects the distinct values of one label key across a
+// family's samples, sorted.
+func labelValues(sc *obs.Scrape, family, key string) []string {
+	seen := map[string]bool{}
+	for _, smp := range sc.Samples {
+		if smp.Name != family {
+			continue
+		}
+		if v, ok := smp.Labels[key]; ok && !seen[v] {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seconds renders a float seconds value at millisecond grain.
+func seconds(v float64) string {
+	d := time.Duration(v * float64(time.Second))
+	if d >= time.Second {
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+	return d.Round(100 * time.Microsecond).String()
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fleetExposition is a hand-rolled merged /cluster/metrics page: two
+// members (one down), one session with lag, and a canary with a
+// recorded blackout.
+const fleetExposition = `# TYPE cluster_member_up gauge
+cluster_member_up{member="m0"} 1
+cluster_member_up{member="m1"} 0
+# TYPE cluster_members_alive gauge
+cluster_members_alive{member="m0"} 2
+# TYPE serve_view_seq gauge
+serve_view_seq{session="game"} 120
+serve_events_applied_total{session="game"} 120
+serve_watchers{session="game"} 3
+cluster_ship_lag_records{session="game",follower="m1"} 40
+cluster_ship_lag_seconds{session="game",follower="m1"} 1.5
+# TYPE canary_probe_total counter
+canary_probe_total{session="probe",result="ok"} 90
+canary_probe_total{session="probe",result="error"} 4
+# TYPE canary_write_ack_seconds histogram
+canary_write_ack_seconds_bucket{session="probe",le="0.01"} 80
+canary_write_ack_seconds_bucket{session="probe",le="+Inf"} 90
+canary_write_ack_seconds_sum{session="probe"} 0.9
+canary_write_ack_seconds_count{session="probe"} 90
+canary_blackouts_total{session="probe"} 1
+canary_last_blackout_seconds{session="probe"} 0.8
+`
+
+func TestRenderFrame(t *testing.T) {
+	sc, err := obs.ParseScrape(fleetExposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := []obs.Verdict{
+		{Name: "canary-availability", Target: 0.999, Ratio: 0.957, BurnRate: 42.5, Breached: true, Critical: true},
+		{Name: "write-latency", Target: 0.99, Ratio: 1, BurnRate: 0},
+	}
+	var b strings.Builder
+	render(&b, "127.0.0.1:8080", sc, verdicts, time.Unix(0, 0))
+	out := b.String()
+
+	for _, want := range []string{
+		"MEMBERS",
+		"m0           up",
+		"m1           DOWN",
+		"sees 2 alive",
+		"SESSIONS",
+		"game",
+		"120",  // seq and applied
+		"40",   // lag records
+		"1.50", // max lag seconds
+		"CANARY",
+		"ok 90  err 4",
+		"write-ack p99",
+		"blackouts 1",
+		"800ms",
+		"SLO",
+		"canary-availability",
+		"BREACH(critical)",
+		"42.50",
+		"write-latency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Fatalf("render emitted escape codes; they belong to the refresh loop only:\n%s", out)
+	}
+}
+
+// TestRenderEmpty: a scrape with none of the fleet families still
+// renders a frame (placeholders, no panic) — the dashboard degrades
+// instead of crashing on a standalone or uninstrumented target.
+func TestRenderEmpty(t *testing.T) {
+	sc, err := obs.ParseScrape("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	render(&b, "x", sc, nil, time.Unix(0, 0))
+	out := b.String()
+	for _, want := range []string{"no cluster_member_up", "(none)", "no canary", "no objectives"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("empty frame missing %q:\n%s", want, out)
+		}
+	}
+}

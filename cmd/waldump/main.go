@@ -9,10 +9,17 @@
 // reported on stderr and excluded, exactly as recovery would treat
 // them.
 //
-// Usage: waldump <session.wal directory | segment file> [...]
+// -stats prints per-segment statistics instead of records: counts by
+// record type (events by kind, snapshots, barriers), byte totals, the
+// committed sequence range, and the position of every snapshot and
+// barrier — the question "where would recovery start, and how much log
+// follows it" answered without dumping a single event.
+//
+// Usage: waldump [-stats] <session.wal directory | segment file> [...]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -25,12 +32,20 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: waldump <session.wal directory | segment file> [...]")
+	stats := flag.Bool("stats", false, "per-segment statistics instead of the NDJSON dump")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: waldump [-stats] <session.wal directory | segment file> [...]")
 		os.Exit(2)
 	}
-	for _, path := range os.Args[1:] {
-		if err := dumpPath(os.Stdout, os.Stderr, path); err != nil {
+	for _, path := range flag.Args() {
+		var err error
+		if *stats {
+			err = statsPath(os.Stdout, path)
+		} else {
+			err = dumpPath(os.Stdout, os.Stderr, path)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "waldump: %v\n", err)
 			os.Exit(1)
 		}

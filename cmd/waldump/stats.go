@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// segStats summarizes one segment's committed contents.
+type segStats struct {
+	path      string
+	size      int64 // on-disk bytes
+	committed int64 // bytes covered by complete records
+	events    int
+	byKind    map[string]int
+	snaps     int
+	barriers  int
+	minSeq    int // -1 until the first record
+	maxSeq    int
+	marks     []string // "snapshot @off seq=s" / "barrier @off seq=s"
+}
+
+// statsPath prints statistics for a WAL directory (per segment plus a
+// total line) or a single segment file.
+func statsPath(w io.Writer, path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	segs := []string{path}
+	if fi.IsDir() {
+		if segs, err = segmentFiles(path); err != nil {
+			return err
+		}
+		if len(segs) == 0 {
+			return fmt.Errorf("%s holds no segment files", path)
+		}
+	}
+	total := segStats{minSeq: -1}
+	for _, p := range segs {
+		st, err := statsFile(p)
+		if err != nil {
+			return err
+		}
+		printSeg(w, st)
+		total.size += st.size
+		total.committed += st.committed
+		total.events += st.events
+		total.snaps += st.snaps
+		total.barriers += st.barriers
+		total.mergeSeq(st.minSeq, st.maxSeq)
+	}
+	if len(segs) > 1 {
+		fmt.Fprintf(w, "total: %d segments, %d bytes (%d committed), %d events, %d snapshots, %d barriers%s\n",
+			len(segs), total.size, total.committed, total.events, total.snaps, total.barriers, seqRange(total.minSeq, total.maxSeq))
+	}
+	return nil
+}
+
+// statsFile scans one segment, counting committed records by type and
+// marking every snapshot and barrier with its byte position.
+func statsFile(path string) (segStats, error) {
+	st := segStats{path: path, byKind: map[string]int{}, minSeq: -1}
+	f, err := os.Open(path)
+	if err != nil {
+		return st, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return st, err
+	}
+	st.size = fi.Size()
+	sc := trace.NewRecordScanner(f)
+	for {
+		at := sc.Committed() // the record about to decode starts here
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, fmt.Errorf("%s: %w", path, err)
+		}
+		st.mergeSeq(rec.Seq, rec.Seq)
+		switch {
+		case rec.Snap != nil:
+			st.snaps++
+			st.marks = append(st.marks, fmt.Sprintf("snapshot @%d seq=%d", at, rec.Seq))
+		case rec.Barrier != nil:
+			st.barriers++
+			st.marks = append(st.marks, fmt.Sprintf("barrier @%d seq=%d", at, rec.Seq))
+		case rec.Ev != nil:
+			st.events++
+			st.byKind[rec.Ev.Kind.String()]++
+		}
+	}
+	st.committed = sc.Committed()
+	return st, nil
+}
+
+func (st *segStats) mergeSeq(lo, hi int) {
+	if lo < 0 {
+		return
+	}
+	if st.minSeq == -1 || lo < st.minSeq {
+		st.minSeq = lo
+	}
+	if hi > st.maxSeq {
+		st.maxSeq = hi
+	}
+}
+
+func printSeg(w io.Writer, st segStats) {
+	kinds := ""
+	for _, k := range []string{"join", "leave", "move", "power"} {
+		if n := st.byKind[k]; n > 0 {
+			if kinds != "" {
+				kinds += ", "
+			}
+			kinds += fmt.Sprintf("%s %d", k, n)
+		}
+	}
+	if kinds != "" {
+		kinds = " [" + kinds + "]"
+	}
+	fmt.Fprintf(w, "%s: %d bytes (%d committed), %d events%s, %d snapshots, %d barriers%s\n",
+		filepath.Base(st.path), st.size, st.committed, st.events, kinds, st.snaps, st.barriers, seqRange(st.minSeq, st.maxSeq))
+	for _, m := range st.marks {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
+	if torn := st.size - st.committed; torn > 0 {
+		fmt.Fprintf(w, "  torn tail: %d bytes\n", torn)
+	}
+}
+
+// seqRange renders ", seq lo..hi" or nothing for an empty segment.
+func seqRange(lo, hi int) string {
+	if lo == -1 {
+		return ""
+	}
+	return fmt.Sprintf(", seq %d..%d", lo, hi)
+}

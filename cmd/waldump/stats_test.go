@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/adhoc"
+	"repro/internal/geom"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// TestStatsMode: -stats reports per-segment record counts by type, byte
+// totals, the sequence range, snapshot/barrier positions, and the torn
+// tail — against a directory holding a snapshot segment and a tail
+// segment with a half-written final frame.
+func TestStatsMode(t *testing.T) {
+	snap := trace.Snapshot{
+		Version: trace.SnapshotVersion,
+		Seq:     5,
+		Nodes:   []trace.NodeState{{ID: 1, X: 2, Y: 3, Range: 25}},
+		Strategies: []trace.StrategyState{{
+			Name:    "Minim",
+			Assign:  []trace.ColorEntry{{ID: 1, Color: 1}},
+			Metrics: trace.MetricsState{Events: 5},
+		}},
+	}
+	seg1, err := trace.AppendSnapshotFrame(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg1, err = trace.AppendEventFrame(seg1, 6, strategy.JoinEvent(2, adhoc.Config{Pos: geom.Point{X: 4, Y: 5}, Range: 30})); err != nil {
+		t.Fatal(err)
+	}
+	if seg1, err = trace.AppendEventFrame(seg1, 7, strategy.MoveEvent(2, geom.Point{X: 6, Y: 7})); err != nil {
+		t.Fatal(err)
+	}
+	var seg2 []byte
+	if seg2, err = trace.AppendEventFrame(nil, 8, strategy.LeaveEvent(2)); err != nil {
+		t.Fatal(err)
+	}
+	if seg2, err = trace.AppendBarrierFrame(seg2, 8); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := trace.AppendEventFrame(nil, 9, strategy.MoveEvent(2, geom.Point{X: 1, Y: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed2 := len(seg2)
+	seg2 = append(seg2, torn[:len(torn)/2]...)
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "000000001.seg"), seg1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "000000002.seg"), seg2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := statsPath(&out, dir); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"000000001.seg",
+		"2 events [join 1, move 1], 1 snapshots, 0 barriers, seq 5..7",
+		"snapshot @0 seq=5",
+		"000000002.seg",
+		"1 events [leave 1], 0 snapshots, 1 barriers, seq 8..8",
+		"barrier @",
+		"torn tail:",
+		"total: 2 segments",
+		"3 events, 1 snapshots, 1 barriers, seq 5..8",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, got)
+		}
+	}
+	wantTorn := len(torn) / 2
+	if !strings.Contains(got, "torn tail: "+strconv.Itoa(wantTorn)) {
+		t.Fatalf("torn tail should be %d bytes (committed %d of %d):\n%s", wantTorn, committed2, len(seg2), got)
+	}
+	// Single-file mode skips the total line.
+	out.Reset()
+	if err := statsPath(&out, filepath.Join(dir, "000000001.seg")); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "total:") {
+		t.Fatalf("single-segment stats should not print a total:\n%s", out.String())
+	}
+}

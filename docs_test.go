@@ -124,3 +124,51 @@ func TestDocsNameRealPackages(t *testing.T) {
 		}
 	}
 }
+
+// metricReg matches a metric registration call — the catalog's source
+// of truth. Label resolution happens at registration so the name is
+// always the first string literal of the call.
+var metricReg = regexp.MustCompile(`\.(?:Counter|Gauge|FloatGauge|Histogram)\(\s*"([a-z_][a-z0-9_]*)"`)
+
+// TestDocsMetricsCatalog: every metric the serving/cluster/canary code
+// registers appears in docs/observability.md — the catalog must not
+// drift when someone adds a series.
+func TestDocsMetricsCatalog(t *testing.T) {
+	catalog, err := os.ReadFile("docs/observability.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string][]string{} // metric -> files registering it
+	for _, dir := range []string{"internal/serve", "internal/cluster", "internal/canary"} {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			p := filepath.Join(dir, e.Name())
+			src, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range metricReg.FindAllStringSubmatch(string(src), -1) {
+				names[m[1]] = append(names[m[1]], p)
+			}
+		}
+	}
+	if len(names) < 20 {
+		t.Fatalf("found only %d registered metrics; the registration scan looks broken", len(names))
+	}
+	for name, files := range names {
+		if !strings.Contains(string(catalog), "`"+name+"`") {
+			t.Errorf("metric %s (registered in %s) is missing from docs/observability.md", name, files[0])
+		}
+	}
+	// The synthetic fleet-level family is registered nowhere but must
+	// stay documented with the rest.
+	if !strings.Contains(string(catalog), "`cluster_member_up") {
+		t.Error("docs/observability.md does not document cluster_member_up")
+	}
+}

@@ -203,6 +203,22 @@
 //   - serve_backpressure_total (admission 429s) and serve_apply_seconds
 //     / serve_fsync_seconds quantiles for write-path health.
 //
+// Fleet-wide: any member answers GET /cluster/metrics with a merged
+// exposition for the whole fleet — counters and histograms summed,
+// gauges folded to their max, cluster_members_alive re-labelled per
+// member, and a synthetic cluster_member_up{member} gauge (0 for
+// members gossip knows about that did not answer the scrape). Point
+// one scrape job, or cmd/cdmatop, at a single member and see
+// everything. GET /slo on each member reports its SLO verdicts
+// (docs/observability.md, "SLOs"); a breached critical objective —
+// such as canary-availability when the daemon runs with -canary —
+// degrades that member's /readyz until the window recovers. The
+// canary itself (-canary, internal/canary) probes a synthetic session
+// through the public API every second and publishes canary_* SLIs,
+// including canary_failover_blackout_seconds: the client-visible
+// write-unavailability window around a failover, measured rather than
+// inferred.
+//
 // For liveness and placement snapshots, /cluster/members,
 // /cluster/route, and /cluster/holds/{id} remain the structural views;
 // follower read headers (X-Read-From) plus body seq track per-request

@@ -82,6 +82,8 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/snapshot/{id}", n.handleSnapshot)
 	mux.HandleFunc("POST /cluster/adopt/{id}", n.handleAdopt)
 	mux.HandleFunc("GET /cluster/holds/{id}", n.handleHolds)
+	mux.HandleFunc("GET /cluster/metrics", n.handleFleetMetrics)
+	mux.Handle("GET /slo", n.cfg.SLO.Handler())
 	if n.obs.reg != nil {
 		mux.Handle("GET /metrics", n.obs.reg.Handler())
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	rpprof "runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -63,6 +65,10 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the member's
 	// handler (off by default: profiling endpoints are opt-in).
 	Pprof bool
+	// SLO, when set, is evaluated once per Run interval against
+	// Registry and served at GET /slo; objectives marked Critical
+	// degrade Health while breached. nil serves empty verdicts.
+	SLO *obs.SLO
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +129,9 @@ type Node struct {
 	// precisely what risks a dual-primary race (the old primary gives
 	// up while the promotion is still in flight).
 	adoptClient *http.Client
+	// scrapeClient carries /cluster/metrics fan-out scrapes only: a
+	// short timeout so one wedged member cannot stall the fleet page.
+	scrapeClient *http.Client
 
 	obs nodeObs
 
@@ -153,14 +162,15 @@ func NewNode(cfg Config) (*Node, error) {
 		log = obs.NewLogger(os.Stderr, obs.LevelInfo)
 	}
 	n := &Node{
-		cfg:         cfg,
-		ms:          NewMembership(cfg.ID, cfg.FailAfter, cfg.Fanout, cfg.Seed),
-		mgr:         serve.NewManager(cfg.Dir),
-		client:      &http.Client{Timeout: 10 * time.Second},
-		adoptClient: &http.Client{Timeout: 5 * time.Minute},
-		obs:         newNodeObs(cfg.Registry, cfg.Trace, log),
-		primaries:   make(map[string]*primaryState),
-		followers:   make(map[string]*followerState),
+		cfg:          cfg,
+		ms:           NewMembership(cfg.ID, cfg.FailAfter, cfg.Fanout, cfg.Seed),
+		mgr:          serve.NewManager(cfg.Dir),
+		client:       &http.Client{Timeout: 10 * time.Second},
+		adoptClient:  &http.Client{Timeout: 5 * time.Minute},
+		scrapeClient: &http.Client{Timeout: fleetScrapeTimeout},
+		obs:          newNodeObs(cfg.Registry, cfg.Trace, log),
+		primaries:    make(map[string]*primaryState),
+		followers:    make(map[string]*followerState),
 	}
 	n.mgr.Instrument(serve.NewMetrics(cfg.Registry, cfg.Trace))
 	return n, nil
@@ -461,7 +471,13 @@ func (n *Node) ShipSession(id string) error {
 	n.mu.Unlock()
 	sort.Slice(shs, func(i, j int) bool { return shs[i].follower < shs[j].follower })
 
-	err := n.shipRounds(id, fd, shs)
+	// Label the shipping work per session so -pprof CPU profiles
+	// attribute replication cost alongside writer/replica work. One
+	// label scope per ship call — nothing on the batch-assembly path.
+	var err error
+	rpprof.Do(context.Background(), rpprof.Labels("session", id, "role", "shipper"), func(context.Context) {
+		err = n.shipRounds(id, fd, shs)
+	})
 	if cerr := n.maybeCompact(id, ps, fd, shs); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -774,8 +790,14 @@ func (n *Node) Reconcile() error {
 		}
 	}
 	for _, id := range followed {
+		// Copy the follower's leader under the lock: every ship request
+		// rewrites fs.primary concurrently with this loop.
 		n.mu.Lock()
 		fs, ok := n.followers[id]
+		var fsPrimary MemberID
+		if ok {
+			fsPrimary = fs.primary
+		}
 		n.mu.Unlock()
 		if !ok {
 			continue
@@ -787,7 +809,7 @@ func (n *Node) Reconcile() error {
 				rank = i
 			}
 		}
-		primaryAlive := n.ms.IsAlive(fs.primary)
+		primaryAlive := n.ms.IsAlive(fsPrimary)
 		if rank < 0 {
 			// Rendezvous moved this replica elsewhere. Decommission it
 			// once the session is demonstrably healthy without us —
@@ -1029,6 +1051,7 @@ func (n *Node) Run(done <-chan struct{}, interval time.Duration) {
 			if err := n.Reconcile(); err != nil {
 				n.obs.log.Error("reconcile failed", "component", "cluster", "member", string(n.cfg.ID), "err", err.Error())
 			}
+			n.cfg.SLO.Tick(time.Now())
 		}
 	}
 }

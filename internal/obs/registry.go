@@ -211,7 +211,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		b = append(b, "# HELP "...)
 		b = append(b, f.name...)
 		b = append(b, ' ')
-		b = append(b, f.help...)
+		b = appendEscapedHelp(b, f.help)
 		b = append(b, "\n# TYPE "...)
 		b = append(b, f.name...)
 		b = append(b, ' ')
@@ -274,6 +274,23 @@ func appendSample(b []byte, name, suffix, labels, le string, v float64, integer 
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// appendEscapedHelp renders HELP text with exposition-format escaping
+// (`\\` and `\n`) — a newline in a help string must not fabricate a
+// sample line.
+func appendEscapedHelp(b []byte, help string) []byte {
+	for i := 0; i < len(help); i++ {
+		switch help[i] {
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, help[i])
+		}
+	}
+	return b
 }
 
 // Render returns the full exposition as a string (handy for in-process

@@ -15,20 +15,36 @@ type Sample struct {
 	Value  float64
 }
 
-// Scrape is a parsed Prometheus text exposition — what a load
-// generator gets back from GET /metrics (or Registry.Render) and folds
-// into its report.
-type Scrape struct {
-	Samples []Sample
+// Family is one metric family's metadata as announced by the
+// exposition's `# HELP` / `# TYPE` comment lines. Type is one of
+// "counter", "gauge", "histogram", or "untyped".
+type Family struct {
+	Help string
+	Type string
 }
 
-// ParseScrape parses the text exposition format the Registry renders
-// (comment lines skipped, optional trailing timestamps ignored).
+// Scrape is a parsed Prometheus text exposition — what a load
+// generator gets back from GET /metrics (or Registry.Render) and folds
+// into its report. Families carries the HELP/TYPE metadata keyed by
+// family name; histogram `_bucket`/`_sum`/`_count` samples belong to
+// the family named by their base.
+type Scrape struct {
+	Samples  []Sample
+	Families map[string]Family
+}
+
+// ParseScrape parses the text exposition format the Registry renders.
+// `# HELP` and `# TYPE` comments populate Families; other comments are
+// skipped and optional trailing timestamps ignored.
 func ParseScrape(text string) (*Scrape, error) {
-	s := &Scrape{}
+	s := &Scrape{Families: map[string]Family{}}
 	for ln, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			s.parseComment(line)
 			continue
 		}
 		smp, err := parseSampleLine(line)
@@ -40,11 +56,89 @@ func ParseScrape(text string) (*Scrape, error) {
 	return s, nil
 }
 
+// parseComment folds a `# HELP name text` or `# TYPE name type` line
+// into Families. Malformed comments are ignored — comments are
+// advisory in the exposition format.
+func (s *Scrape) parseComment(line string) {
+	rest, ok := cutDirective(line, "HELP")
+	if ok {
+		name, help, _ := cutSpace(rest)
+		if name == "" {
+			return
+		}
+		f := s.Families[name]
+		f.Help = unescapeHelp(help)
+		s.Families[name] = f
+		return
+	}
+	rest, ok = cutDirective(line, "TYPE")
+	if ok {
+		name, typ, _ := cutSpace(rest)
+		if name == "" {
+			return
+		}
+		f := s.Families[name]
+		f.Type = strings.TrimSpace(typ)
+		s.Families[name] = f
+	}
+}
+
+// cutDirective strips `# <kw> ` from a comment line.
+func cutDirective(line, kw string) (string, bool) {
+	rest := strings.TrimPrefix(line, "#")
+	rest = strings.TrimLeft(rest, " \t")
+	if !strings.HasPrefix(rest, kw) {
+		return "", false
+	}
+	rest = rest[len(kw):]
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimLeft(rest, " \t"), true
+}
+
+// cutSpace splits at the first space or tab.
+func cutSpace(s string) (string, string, bool) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], strings.TrimLeft(s[i:], " \t"), true
+}
+
+// unescapeHelp reverses HELP-text escaping (`\\` and `\n`).
+func unescapeHelp(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+		} else {
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
 func parseSampleLine(line string) (Sample, error) {
 	smp := Sample{Labels: map[string]string{}}
-	i := strings.IndexAny(line, "{ ")
+	i := strings.IndexAny(line, "{ \t")
 	if i < 0 {
 		return smp, fmt.Errorf("no value in %q", line)
+	}
+	if i == 0 {
+		return smp, fmt.Errorf("missing metric name in %q", line)
 	}
 	smp.Name = line[:i]
 	rest := line[i:]
@@ -74,7 +168,7 @@ func parseLabels(s string) (int, map[string]string, error) {
 	labels := map[string]string{}
 	i := 1
 	for {
-		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ' || s[i] == '\t') {
 			i++
 		}
 		if i < len(s) && s[i] == '}' {
@@ -84,8 +178,11 @@ func parseLabels(s string) (int, map[string]string, error) {
 		if eq < 0 {
 			return 0, nil, fmt.Errorf("unterminated label block in %q", s)
 		}
-		key := s[i : i+eq]
+		key := strings.TrimRight(s[i:i+eq], " \t")
 		i += eq + 1
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
 		if i >= len(s) || s[i] != '"' {
 			return 0, nil, fmt.Errorf("unquoted label value in %q", s)
 		}
@@ -97,7 +194,13 @@ func parseLabels(s string) (int, map[string]string, error) {
 				switch s[i] {
 				case 'n':
 					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
 				default:
+					// Unknown escape: keep the backslash so an
+					// unrecognized sequence survives a round trip
+					// verbatim instead of silently dropping a byte.
+					val.WriteByte('\\')
 					val.WriteByte(s[i])
 				}
 			} else {

@@ -149,6 +149,19 @@ func (h *TraceHub) Tracer(session string) *Tracer {
 	return t
 }
 
+// Evict drops a closed session's tracer so the hub does not grow one
+// ring per session ever hosted. The next Tracer(session) call starts a
+// fresh ring; holders of the old tracer keep a detached (harmless)
+// one. Nil-safe.
+func (h *TraceHub) Evict(session string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	delete(h.tracers, session)
+	h.mu.Unlock()
+}
+
 // Handler serves GET /debug/trace/{session}: the session's ring as
 // JSON. Unknown sessions (or a nil hub) answer an empty array — the
 // trace is a debug surface, absence is not an error.

@@ -176,7 +176,11 @@ func (m *Manager) Close(id string) error {
 	if !ok {
 		return ErrNoSession
 	}
-	return s.Close()
+	err := s.Close()
+	// The session is out of the registry either way: drop its trace
+	// ring so the hub does not grow one per session ever hosted.
+	m.mx.evictTrace(id)
+	return err
 }
 
 // CloseAll stops every session and replica, returning the first error.

@@ -42,6 +42,16 @@ func (m *Metrics) TraceHub() *obs.TraceHub {
 	return m.hub
 }
 
+// evictTrace drops a closed session's or replica's trace ring from the
+// hub (nil-safe) — called when a session leaves the manager's registry
+// for good, never on the promote path.
+func (m *Metrics) evictTrace(id string) {
+	if m == nil {
+		return
+	}
+	m.hub.Evict(id)
+}
+
 // sessionObs holds one session's metric children, resolved once at
 // session build so the hot paths touch only atomic pointers. The zero
 // value (every field nil, on false) is the uninstrumented no-op state.

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -119,9 +121,18 @@ func (r *Replica) CompactBarrier(seq int) error {
 // a batch starting past seq+1 is rejected with ErrReplicaGap. On
 // success the new tail is fsynced BEFORE the new acked offset is
 // returned — an acknowledged record survives a follower crash.
-func (r *Replica) Offer(from int, evs []strategy.Event) (int, error) {
+func (r *Replica) Offer(from int, evs []strategy.Event) (seq int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// One pprof label scope per shipped batch (never per event), so
+	// replica apply work shows up under role=replica in CPU profiles
+	// while the apply path itself stays allocation-free.
+	pprof.Do(context.Background(), pprof.Labels("session", r.s.id, "role", "replica"),
+		func(context.Context) { seq, err = r.offerLocked(from, evs) })
+	return seq, err
+}
+
+func (r *Replica) offerLocked(from int, evs []strategy.Event) (int, error) {
 	if r.closed {
 		return r.s.seq, ErrClosed
 	}
@@ -371,7 +382,11 @@ func (m *Manager) CloseReplica(id string) error {
 	if !ok {
 		return ErrNoReplica
 	}
-	return r.close(false)
+	err := r.close(false)
+	// Promote does NOT pass through here, so a failover keeps its trace
+	// ring; a decommissioned replica gives its ring back.
+	m.mx.evictTrace(id)
+	return err
 }
 
 // Promote turns a follower replica into a live primary session by

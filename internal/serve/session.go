@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -584,6 +586,12 @@ func (s *Session) enqueueWait(req request) error {
 // ---- Writer goroutine ----
 
 func (s *Session) run() {
+	// Label the writer goroutine so -pprof CPU profiles attribute work
+	// by session and role out of the box. Set once per goroutine —
+	// never on the per-event path, so the apply hot path stays
+	// zero-allocation.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("session", s.id, "role", "writer")))
 	defer close(s.done)
 	for req := range s.mail {
 		switch req.kind {
