@@ -240,8 +240,10 @@ func main() {
 		"ShipAssembleBase", benchjson.ShipAssembleBase,
 		"ShipAssembleObs", benchjson.ShipAssembleObs)
 	shipRound := runMedian("ShipRoundHTTP", benchjson.ShipRoundHTTP)
+	traceRecord := runMedian("TraceRecord", benchjson.TraceRecord)
+	traceMerge := runMedian("TraceMerge", benchjson.TraceMerge)
 	ob := meta
-	ob.Benchmarks = []result{applyBase, applyInstr, shipBase, shipInstr, shipRound}
+	ob.Benchmarks = []result{applyBase, applyInstr, shipBase, shipInstr, shipRound, traceRecord, traceMerge}
 	// The ship instrumentation's cost is the delta of the I/O-free
 	// assembly pair (tight enough for a 3% gate); it is stated as a
 	// fraction of what a full loopback ship round costs, because that
@@ -258,6 +260,8 @@ func main() {
 		"apply_overhead_pct":    applyOverhead,
 		"ship_overhead_pct":     shipOverhead,
 		"ship_obs_ns_per_round": round2(shipObsNs),
+		"trace_record_ns":       round2(nsOf(ob.Benchmarks, "TraceRecord")),
+		"trace_merge_ns":        round2(nsOf(ob.Benchmarks, "TraceMerge")),
 	}
 	if err := writeArtifact(filepath.Join(*out, "BENCH_obs.json"), ob); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -281,6 +285,13 @@ func main() {
 		// must allocate exactly what the baseline does.
 		if a, u := allocsOf(ob.Benchmarks, "ShipAssembleObs"), allocsOf(ob.Benchmarks, "ShipAssembleBase"); a > u {
 			fmt.Fprintf(os.Stderr, "benchjson: obs overhead gate: ship instrumentation allocates (%d allocs/op vs %d baseline)\n", a, u)
+			failed = true
+		}
+		// The trace record path (ring store, enqueue correlation, exemplar
+		// retention, slow-ring offer) sits on every instrumented apply: it
+		// must be allocation-free outright.
+		if a := allocsOf(ob.Benchmarks, "TraceRecord"); a > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: obs overhead gate: trace record path allocates (%d allocs/op, want 0)\n", a)
 			failed = true
 		}
 		if failed {

@@ -37,6 +37,8 @@
 //	GET /metrics            Prometheus text exposition
 //	GET /slo                objective verdicts (ratio, burn rate, breach)
 //	GET /debug/trace/{id}   per-session event trace rings (JSON)
+//	GET /debug/slowest      tail-sampled slow-event ring (JSON)
+//	GET /debug/exemplars    worst-recent (session, seq) per histogram
 //	GET /healthz            process liveness (always 200)
 //	GET /readyz             readiness: 200 once recovered and joined,
 //	                        503 while starting or draining
@@ -122,6 +124,8 @@ func main() {
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /slo", slo.Handler())
 	mux.Handle("GET /debug/trace/", hub.Handler("/debug/trace/"))
+	mux.Handle("GET /debug/slowest", hub.Slow().Handler())
+	mux.Handle("GET /debug/exemplars", reg.ExemplarHandler())
 	mux.HandleFunc("GET /healthz", obs.Healthz)
 	mux.Handle("GET /readyz", health)
 	if *pprofOn {

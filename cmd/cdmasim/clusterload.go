@@ -506,6 +506,32 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 		fail(fmt.Errorf("merged fleet page reports serve_view_seq %.0f (found %v), want %d", seq, ok, len(script)))
 	}
 
+	// And through the trace collector: ANY survivor's /cluster/trace must
+	// merge the owner set's flight-recorder rings into non-empty
+	// end-to-end timelines — the rings survived the failover.
+	tresp, err := client.Get("http://" + anyAddr() + "/cluster/trace/" + session)
+	if err != nil {
+		fail(fmt.Errorf("fetching merged trace: %w", err))
+	}
+	var tm obs.TraceMerge
+	terr := json.NewDecoder(tresp.Body).Decode(&tm)
+	tresp.Body.Close()
+	if terr != nil || tresp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("fetching merged trace: HTTP %d err %v", tresp.StatusCode, terr))
+	}
+	if len(tm.Events) == 0 {
+		fail(fmt.Errorf("merged trace for %q holds no events after the run", session))
+	}
+	traceStages := map[string]bool{}
+	for _, stg := range tm.Stages {
+		traceStages[stg.Stage] = true
+	}
+	for _, want := range []string{"enqueue", "apply", "view-publish"} {
+		if !traceStages[want] {
+			fail(fmt.Errorf("merged trace lacks stage %q (stages: %v)", want, tm.Stages))
+		}
+	}
+
 	fmt.Printf("cluster load    : %d members, %d replicas, primary %s killed at event %d\n", members, replicas, primary, killAt)
 	fmt.Printf("events applied  : %d (+%d resubmitted after failover, %d backpressure retries, %.0f events/s)\n",
 		len(script), killAt-resumedFrom, rejected, float64(applied)/elapsed.Seconds())
@@ -516,4 +542,6 @@ func runClusterLoad(p workload.Params, churn, hotspots int, seed uint64, replica
 		len(script), failoverS*1e3, applyP50*1e6, applyP99*1e6)
 	fmt.Printf("fleet metrics   : merged /cluster/metrics agrees — %d/%d members up, crashed %s down, session at seq %d\n",
 		upMembers, members, primary, len(script))
+	fmt.Printf("fleet trace     : merged /cluster/trace holds %d events across %d members (%d stages, %d skew-clamped spans)\n",
+		len(tm.Events), len(tm.Members), len(tm.Stages), tm.SkewClamped)
 }

@@ -40,11 +40,11 @@ func main() {
 	client := &http.Client{Timeout: 5 * time.Second}
 
 	frame := func() error {
-		sc, verdicts, err := fetch(client, base)
+		sc, verdicts, slow, err := fetch(client, base)
 		if err != nil {
 			return err
 		}
-		render(os.Stdout, *addr, sc, verdicts, time.Now())
+		render(os.Stdout, *addr, sc, verdicts, slow, time.Now())
 		return nil
 	}
 
@@ -65,26 +65,26 @@ func main() {
 	}
 }
 
-// fetch pulls one merged exposition and one verdict set from a member.
-// The /slo endpoint is best-effort: a member without an SLO engine
-// serves an empty verdict list, and older members without the route at
-// all just leave the SLO pane empty.
-func fetch(client *http.Client, base string) (*obs.Scrape, []obs.Verdict, error) {
+// fetch pulls one merged exposition, one verdict set, and the member's
+// slow-event ring. The /slo and /debug/slowest endpoints are
+// best-effort: a member without an SLO engine serves an empty verdict
+// list, and members without either route just leave that pane empty.
+func fetch(client *http.Client, base string) (*obs.Scrape, []obs.Verdict, []obs.SlowEvent, error) {
 	resp, err := client.Get(base + "/cluster/metrics")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, nil, fmt.Errorf("GET /cluster/metrics: %s", resp.Status)
+		return nil, nil, nil, fmt.Errorf("GET /cluster/metrics: %s", resp.Status)
 	}
 	sc, err := obs.ParseScrape(string(body))
 	if err != nil {
-		return nil, nil, fmt.Errorf("merged exposition: %w", err)
+		return nil, nil, nil, fmt.Errorf("merged exposition: %w", err)
 	}
 
 	var verdicts []obs.Verdict
@@ -98,5 +98,17 @@ func fetch(client *http.Client, base string) (*obs.Scrape, []obs.Verdict, error)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
-	return sc, verdicts, nil
+
+	var slow []obs.SlowEvent
+	if resp, err := client.Get(base + "/debug/slowest"); err == nil {
+		var out struct {
+			Events []obs.SlowEvent `json:"events"`
+		}
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&out) == nil {
+			slow = out.Events
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return sc, verdicts, slow, nil
 }

@@ -10,10 +10,11 @@ import (
 )
 
 // render draws one frame of the fleet dashboard from a merged
-// /cluster/metrics scrape plus /slo verdicts. Plain text, fixed-width
-// columns, newest data wins — the terminal handling (clearing, pacing)
-// stays in the caller so this is directly unit-testable.
-func render(w io.Writer, target string, sc *obs.Scrape, verdicts []obs.Verdict, at time.Time) {
+// /cluster/metrics scrape, /slo verdicts, and the member's slow-event
+// ring. Plain text, fixed-width columns, newest data wins — the
+// terminal handling (clearing, pacing) stays in the caller so this is
+// directly unit-testable.
+func render(w io.Writer, target string, sc *obs.Scrape, verdicts []obs.Verdict, slow []obs.SlowEvent, at time.Time) {
 	fmt.Fprintf(w, "cdmatop — %s — %s\n", target, at.Format("15:04:05"))
 
 	fmt.Fprintf(w, "\nMEMBERS\n")
@@ -84,6 +85,21 @@ func render(w io.Writer, target string, sc *obs.Scrape, verdicts []obs.Verdict, 
 		}
 	}
 
+	fmt.Fprintf(w, "\nSLOWEST\n")
+	if len(slow) == 0 {
+		fmt.Fprintln(w, "  (no events beyond the slow threshold)")
+	} else {
+		fmt.Fprintf(w, "  %-16s %10s %10s %10s\n", "session", "seq", "latency", "age")
+		show := slow
+		if len(show) > 8 {
+			show = show[:8]
+		}
+		for _, e := range show {
+			fmt.Fprintf(w, "  %-16s %10d %10s %10s\n",
+				e.Session, e.Seq, seconds(float64(e.DurNs)/1e9), age(e.At, at))
+		}
+	}
+
 	fmt.Fprintf(w, "\nSLO\n")
 	if len(verdicts) == 0 {
 		fmt.Fprintln(w, "  (no objectives configured)")
@@ -120,6 +136,18 @@ func labelValues(sc *obs.Scrape, family, key string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// age renders how long before the frame an event was retained.
+func age(atUnixNs int64, now time.Time) string {
+	d := now.Sub(time.Unix(0, atUnixNs))
+	if d < 0 {
+		d = 0
+	}
+	if d >= time.Minute {
+		return d.Round(time.Second).String()
+	}
+	return seconds(d.Seconds())
 }
 
 // seconds renders a float seconds value at millisecond grain.

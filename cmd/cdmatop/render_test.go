@@ -43,8 +43,11 @@ func TestRenderFrame(t *testing.T) {
 		{Name: "canary-availability", Target: 0.999, Ratio: 0.957, BurnRate: 42.5, Breached: true, Critical: true},
 		{Name: "write-latency", Target: 0.99, Ratio: 1, BurnRate: 0},
 	}
+	slow := []obs.SlowEvent{
+		{Session: "game", Seq: 118, DurNs: 340 * 1e6, At: 0},
+	}
 	var b strings.Builder
-	render(&b, "127.0.0.1:8080", sc, verdicts, time.Unix(0, 0))
+	render(&b, "127.0.0.1:8080", sc, verdicts, slow, time.Unix(0, 0))
 	out := b.String()
 
 	for _, want := range []string{
@@ -59,6 +62,9 @@ func TestRenderFrame(t *testing.T) {
 		"1.50", // max lag seconds
 		"CANARY",
 		"ok 90  err 4",
+		"SLOWEST",
+		"118",
+		"340ms",
 		"write-ack p99",
 		"blackouts 1",
 		"800ms",
@@ -86,9 +92,9 @@ func TestRenderEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	render(&b, "x", sc, nil, time.Unix(0, 0))
+	render(&b, "x", sc, nil, nil, time.Unix(0, 0))
 	out := b.String()
-	for _, want := range []string{"no cluster_member_up", "(none)", "no canary", "no objectives"} {
+	for _, want := range []string{"no cluster_member_up", "(none)", "no canary", "no objectives", "no events beyond"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("empty frame missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// render draws one frame of the trace waterfall from a merged
+// /cluster/trace body: the contributing members with their clock
+// offsets, the newest events' per-stage waterfalls, and the per-stage
+// duration profile. Plain text — the terminal handling (clearing,
+// pacing) stays in the caller so this is directly unit-testable.
+func render(w io.Writer, target string, tm *obs.TraceMerge, tail int) {
+	fmt.Fprintf(w, "cdmatrace — %s — session %s\n", target, tm.Session)
+
+	fmt.Fprintf(w, "\nMEMBERS\n")
+	if len(tm.Members) == 0 {
+		fmt.Fprintln(w, "  (no owner-set members answered)")
+	}
+	for _, m := range tm.Members {
+		state := "up"
+		if m.Down {
+			state = "DOWN"
+		}
+		fmt.Fprintf(w, "  %-12s %-4s  offset %-12s entries %d\n",
+			m.Member, state, dur(m.OffsetNs), m.Entries)
+	}
+
+	fmt.Fprintf(w, "\nEVENTS\n")
+	evs := tm.Events
+	if tail > 0 && len(evs) > tail {
+		evs = evs[len(evs)-tail:]
+	}
+	if len(evs) == 0 {
+		fmt.Fprintln(w, "  (no traced events in the rings)")
+	}
+	for _, ev := range evs {
+		fmt.Fprintf(w, "  seq %-8d total %s\n", ev.Seq, dur(ev.TotalNs))
+		for _, sp := range ev.Spans {
+			flag := ""
+			if sp.Clamped {
+				flag = "  [skew-clamped]"
+			}
+			fmt.Fprintf(w, "    %-20s %-12s +%s%s\n", sp.Stage, sp.Member, dur(sp.DurNs), flag)
+		}
+	}
+
+	fmt.Fprintf(w, "\nSTAGES\n")
+	if len(tm.Stages) == 0 {
+		fmt.Fprintln(w, "  (no spans)")
+	} else {
+		fmt.Fprintf(w, "  %-20s %6s %10s %10s %10s %10s\n",
+			"stage", "count", "p50", "p90", "p99", "max")
+	}
+	for _, st := range tm.Stages {
+		fmt.Fprintf(w, "  %-20s %6d %10s %10s %10s %10s\n",
+			st.Stage, st.Count, dur(st.P50Ns), dur(st.P90Ns), dur(st.P99Ns), dur(st.MaxNs))
+	}
+	if tm.SkewClamped > 0 {
+		fmt.Fprintf(w, "\n%d span(s) skew-clamped: cross-member timestamps violated ship/ack causality and were pinned to the causal bound.\n", tm.SkewClamped)
+	}
+}
+
+// dur renders a nanosecond count at sub-millisecond grain, signed (clock
+// offsets can be negative).
+func dur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second || d <= -time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond || d <= -time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRenderWaterfall(t *testing.T) {
+	tm := &obs.TraceMerge{
+		Session: "game",
+		Members: []obs.TraceMemberInfo{
+			{Member: "a", OffsetNs: 0, Entries: 6},
+			{Member: "b", OffsetNs: 1_500_000, Entries: 4},
+			{Member: "c", Down: true},
+		},
+		Events: []obs.TraceEvent{
+			{Seq: 41, TotalNs: 2_000_000, Spans: []obs.TraceSpan{
+				{Stage: "enqueue", Member: "a", At: 100},
+				{Stage: "apply", Member: "a", At: 2_000_100, DurNs: 2_000_000},
+			}},
+			{Seq: 42, TotalNs: 9_000_000, Spans: []obs.TraceSpan{
+				{Stage: "enqueue", Member: "a", At: 0},
+				{Stage: "ship", Member: "a", At: 4_000_000, DurNs: 4_000_000},
+				{Stage: "follower-apply", Member: "b", At: 4_000_000, DurNs: 0, Clamped: true},
+				{Stage: "follower-ack", Member: "a", At: 9_000_000, DurNs: 5_000_000},
+			}},
+		},
+		Stages: []obs.StageStat{
+			{Stage: "apply", Count: 2, P50Ns: 2_000_000, P90Ns: 2_000_000, P99Ns: 2_000_000, MaxNs: 2_000_000},
+		},
+		SkewClamped: 1,
+	}
+	var b strings.Builder
+	render(&b, "127.0.0.1:8080", tm, 8)
+	out := b.String()
+
+	for _, want := range []string{
+		"session game",
+		"MEMBERS",
+		"a            up",
+		"b            up",
+		"offset 1.5ms",
+		"c            DOWN",
+		"EVENTS",
+		"seq 41",
+		"seq 42",
+		"follower-apply       b",
+		"[skew-clamped]",
+		"STAGES",
+		"apply",
+		"1 span(s) skew-clamped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Fatalf("render emitted escape codes; they belong to the refresh loop only:\n%s", out)
+	}
+}
+
+// TestRenderTail: -tail bounds the events drawn to the newest N.
+func TestRenderTail(t *testing.T) {
+	tm := &obs.TraceMerge{Session: "s"}
+	for i := int64(1); i <= 5; i++ {
+		tm.Events = append(tm.Events, obs.TraceEvent{Seq: i, Spans: []obs.TraceSpan{{Stage: "apply", Member: "a"}}})
+	}
+	var b strings.Builder
+	render(&b, "x", tm, 2)
+	out := b.String()
+	if strings.Contains(out, "seq 3") || !strings.Contains(out, "seq 4") || !strings.Contains(out, "seq 5") {
+		t.Fatalf("tail did not keep the newest 2 events:\n%s", out)
+	}
+}
+
+// TestRenderEmpty: an empty merge still renders a frame (placeholders,
+// no panic).
+func TestRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	render(&b, "x", &obs.TraceMerge{Session: "s"}, 8)
+	out := b.String()
+	for _, want := range []string{"no owner-set members", "no traced events", "no spans"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("empty frame missing %q:\n%s", want, out)
+		}
+	}
+}

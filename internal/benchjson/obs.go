@@ -184,6 +184,71 @@ func ShipAssembleBase(b *testing.B) { benchShipAssemble(b, false) }
 // ShipAssembleObs is the instrumented half of the ship pair.
 func ShipAssembleObs(b *testing.B) { benchShipAssemble(b, true) }
 
+// TraceRecord times the full per-event trace instrumentation an
+// instrumented apply performs — the current-time ring store, the
+// carried-timestamp store (the enqueue correlation), the exemplar-
+// retaining latency observation, and the slow-ring offer — and reports
+// allocations: the gate requires zero, because all four sit on the
+// apply hot path.
+func TraceRecord(b *testing.B) {
+	hub := obs.NewTraceHub(obs.DefaultTraceRing)
+	hub.SetMember("bench")
+	tracer := hub.Tracer("s")
+	reg := obs.NewRegistry()
+	lat := reg.Histogram("bench_apply_seconds", "bench", nil, "session", "s")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := int64(i)
+		tracer.Record(seq, obs.StageApply)
+		tracer.RecordAt(seq, obs.StageEnqueue, seq)
+		lat.ObserveExemplar(0.0001, seq)
+		hub.NoteSlow("s", seq, int64(100_000)) // under threshold: the common path
+	}
+}
+
+// TraceMerge times the collector's cross-member merge: three members'
+// wrapped rings (one skewed past the causality bound, so the clamp path
+// runs) into per-seq waterfalls with stage percentiles. This is the
+// /cluster/trace request-goroutine cost, not a hot path — tracked so a
+// regression is visible, not gated on allocations.
+func TraceMerge(b *testing.B) {
+	const events = 256
+	mts := make([]obs.MemberTrace, 0, 3)
+	for m := 0; m < 3; m++ {
+		member := string(rune('a' + m))
+		t := obs.NewTraceHub(obs.DefaultTraceRing).Tracer("s")
+		for i := 0; i < events; i++ {
+			at := int64(i)*1_000_000 + int64(m)*10_000
+			t.RecordAt(int64(i), obs.StageApply, at)
+			if m == 0 {
+				t.RecordAt(int64(i), obs.StageShip, at+5_000)
+				t.RecordAt(int64(i), obs.StageFollowerAck, at+50_000)
+			} else {
+				t.RecordAt(int64(i), obs.StageFollowerApply, at+1_000)
+			}
+		}
+		entries := t.Entries(0)
+		for j := range entries {
+			entries[j].Member = member
+		}
+		// Member b's clock runs 1ms ahead: its aligned spans land before
+		// the primary's ship stamp and exercise the clamp.
+		var off int64
+		if m == 1 {
+			off = 1_000_000
+		}
+		mts = append(mts, obs.MemberTrace{Member: member, OffsetNs: off, Entries: entries})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if merged := obs.MergeTraces("s", mts); len(merged.Events) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
 // ShipRoundHTTP times one complete 3-follower ship round over real
 // loopback HTTP — body assembly, push, ack read — with no
 // instrumentation: the denominator that turns the pair's delta into an

@@ -83,12 +83,17 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/adopt/{id}", n.handleAdopt)
 	mux.HandleFunc("GET /cluster/holds/{id}", n.handleHolds)
 	mux.HandleFunc("GET /cluster/metrics", n.handleFleetMetrics)
+	mux.HandleFunc("GET /cluster/trace/{id}", n.handleClusterTrace)
 	mux.Handle("GET /slo", n.cfg.SLO.Handler())
 	if n.obs.reg != nil {
 		mux.Handle("GET /metrics", n.obs.reg.Handler())
 	}
 	if n.obs.hub != nil {
 		mux.Handle("GET /debug/trace/", n.obs.hub.Handler("/debug/trace/"))
+		mux.Handle("GET /debug/slowest", n.obs.hub.Slow().Handler())
+	}
+	if n.obs.reg != nil {
+		mux.Handle("GET /debug/exemplars", n.obs.reg.ExemplarHandler())
 	}
 	mux.HandleFunc("GET /healthz", obs.Healthz)
 	if n.cfg.Health != nil {
@@ -105,14 +110,32 @@ func (n *Node) Handler() http.Handler {
 	return mux
 }
 
+// gossipMsg is the gossip wire envelope: the membership table plus the
+// sender identity and send/receive timestamps. Every gossip round
+// doubles as one NTP-style clock sample, which is how a member learns
+// per-peer clock offsets without any extra protocol — the trace
+// collector uses them to align cross-member timelines.
+type gossipMsg struct {
+	From       MemberID `json:"from,omitempty"`
+	Members    []Member `json:"members"`
+	SentUnixNs int64    `json:"sent_unix_ns,omitempty"`
+	RecvUnixNs int64    `json:"recv_unix_ns,omitempty"`
+}
+
 func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
-	var table []Member
-	if err := json.NewDecoder(r.Body).Decode(&table); err != nil {
+	recvNs := time.Now().UnixNano()
+	var msg gossipMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	n.ms.Merge(table)
-	writeJSON(w, http.StatusOK, n.ms.Table())
+	n.ms.Merge(msg.Members)
+	writeJSON(w, http.StatusOK, gossipMsg{
+		From:       n.cfg.ID,
+		Members:    n.ms.Table(),
+		RecvUnixNs: recvNs,
+		SentUnixNs: time.Now().UnixNano(),
+	})
 }
 
 func (n *Node) handleMembers(w http.ResponseWriter, _ *http.Request) {
@@ -181,6 +204,7 @@ func (n *Node) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	recvNs := time.Now().UnixNano()
 	// The body is a JSON header line followed by raw binary WAL frames
 	// (shipContentType): parse the header, then scan the frame stream.
 	br := bufio.NewReader(r.Body)
@@ -197,6 +221,15 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 	if req.Session != id {
 		httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: ship body names %q, path %q", req.Session, id))
 		return
+	}
+	// ack echoes the batch ID and stamps receive/ack times: with the
+	// shipper's send time these are one NTP-style clock sample per batch,
+	// and the batch ID correlates the ack with the shipper's timeline.
+	ack := func(resp shipResp) {
+		resp.Batch = req.Batch
+		resp.RecvUnixNs = recvNs
+		resp.AckUnixNs = time.Now().UnixNano()
+		writeJSON(w, http.StatusOK, resp)
 	}
 	evs := make([]strategy.Event, 0, req.Count)
 	sc := trace.NewRecordScanner(br)
@@ -242,7 +275,7 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// Catch-up needs the primary reachable; until then the
 			// backlog simply stays pending on the shipper.
-			writeJSON(w, http.StatusOK, shipResp{Acked: 0, Gap: true})
+			ack(shipResp{Acked: 0, Gap: true})
 			return
 		}
 	}
@@ -270,14 +303,14 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 		// in (sequence-number dedup skips what the snapshot covered).
 		rep, err = n.snapshotCatchup(id, req)
 		if err != nil {
-			writeJSON(w, http.StatusOK, shipResp{Acked: acked, Gap: true})
+			ack(shipResp{Acked: acked, Gap: true})
 			return
 		}
 		acked, err = rep.Offer(req.From, evs)
 	}
 	switch {
 	case errors.Is(err, serve.ErrReplicaGap):
-		writeJSON(w, http.StatusOK, shipResp{Acked: acked, Gap: true})
+		ack(shipResp{Acked: acked, Gap: true})
 	case err != nil:
 		httpErr(w, http.StatusInternalServerError, err)
 	default:
@@ -304,7 +337,7 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-		writeJSON(w, http.StatusOK, shipResp{Acked: acked})
+		ack(shipResp{Acked: acked})
 	}
 }
 

@@ -143,6 +143,13 @@ type Node struct {
 	// owner set so read traffic spreads over primary and followers.
 	readRR atomic.Uint64
 
+	// clockMu guards offsets: per-peer NTP-style clock-offset estimates
+	// (peer clock minus local clock, in nanoseconds), sampled from every
+	// gossip exchange and every acknowledged ship batch. The trace
+	// collector aligns remote flight-recorder timestamps with them.
+	clockMu sync.Mutex
+	offsets map[MemberID]clockEstimate
+
 	srv *http.Server
 	ln  net.Listener
 }
@@ -171,7 +178,11 @@ func NewNode(cfg Config) (*Node, error) {
 		obs:          newNodeObs(cfg.Registry, cfg.Trace, log),
 		primaries:    make(map[string]*primaryState),
 		followers:    make(map[string]*followerState),
+		offsets:      make(map[MemberID]clockEstimate),
 	}
+	// Stamp the member identity into the trace rings so a fleet-merged
+	// timeline can tell this member's records from a peer's.
+	cfg.Trace.SetMember(string(cfg.ID))
 	n.mgr.Instrument(serve.NewMetrics(cfg.Registry, cfg.Trace))
 	return n, nil
 }
@@ -247,7 +258,8 @@ func aliveIDs(ms []Member) map[MemberID]bool {
 }
 
 func (n *Node) gossipExchange(addr string, table []Member) ([]Member, error) {
-	b, err := json.Marshal(table)
+	t0 := time.Now().UnixNano()
+	b, err := json.Marshal(gossipMsg{From: n.cfg.ID, Members: table, SentUnixNs: t0})
 	if err != nil {
 		return nil, err
 	}
@@ -259,11 +271,57 @@ func (n *Node) gossipExchange(addr string, table []Member) ([]Member, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cluster: gossip with %s: %s", addr, resp.Status)
 	}
-	var got []Member
+	var got gossipMsg
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		return nil, err
 	}
-	return got, nil
+	// Every gossip round doubles as one NTP-style clock sample: t0/t3
+	// are our send/receive times, t1/t2 the peer's receive/send times.
+	n.noteClockSample(got.From, t0, got.RecvUnixNs, got.SentUnixNs, time.Now().UnixNano())
+	return got.Members, nil
+}
+
+// clockEstimate is one peer's smoothed clock-offset estimate.
+type clockEstimate struct {
+	offsetNs int64 // peer clock minus local clock
+	rttNs    int64 // smoothed sample round-trip time
+	samples  int64
+}
+
+// noteClockSample folds one NTP-style four-timestamp sample into the
+// peer's offset estimate: offset = ((t1-t0)+(t2-t3))/2, rtt =
+// (t3-t0)-(t2-t1). Samples are EWMA-smoothed (alpha 1/4) so one
+// scheduling hiccup does not yank the estimate; nonsensical samples
+// (negative RTT, missing timestamps) are dropped.
+func (n *Node) noteClockSample(peer MemberID, t0, t1, t2, t3 int64) {
+	if peer == "" || peer == n.cfg.ID || t1 == 0 || t2 == 0 {
+		return
+	}
+	rtt := (t3 - t0) - (t2 - t1)
+	if rtt < 0 {
+		return
+	}
+	off := ((t1 - t0) + (t2 - t3)) / 2
+	n.clockMu.Lock()
+	est := n.offsets[peer]
+	if est.samples == 0 {
+		est = clockEstimate{offsetNs: off, rttNs: rtt, samples: 1}
+	} else {
+		est.offsetNs += (off - est.offsetNs) / 4
+		est.rttNs += (rtt - est.rttNs) / 4
+		est.samples++
+	}
+	n.offsets[peer] = est
+	n.clockMu.Unlock()
+}
+
+// offsetOf returns the peer's estimated clock offset relative to this
+// member (0 when no sample has been taken yet — timelines then merge
+// unaligned, and the causality clamp flags whatever skew remains).
+func (n *Node) offsetOf(peer MemberID) int64 {
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
+	return n.offsets[peer].offsetNs
 }
 
 // Stop shuts the member down gracefully: HTTP first, then every
@@ -574,18 +632,29 @@ func (n *Node) shipOne(fd *walFeed, sh *shipper) (advanced bool, err error) {
 			// snapshot right now; leave its backlog pending.
 			return advanced, nil
 		}
+		ackNs := time.Now().UnixNano()
+		// Each acknowledged batch is one more clock sample for the
+		// follower (t0 = assembly, t1/t2 = the follower's receive/ack
+		// stamps, t3 = now).
+		n.noteClockSample(sh.follower, batch.sentNs, resp.RecvUnixNs, resp.AckUnixNs, ackNs)
 		prev := sh.acked
 		if resp.Acked > sh.acked {
 			sh.acked = resp.Acked
 		}
 		sh.barrierSent = batch.barrier
 		sh.obs.batches.Inc()
+		if batch.count > 0 && sh.obs.rtt != nil {
+			// The RTT of a non-empty acknowledged batch covers the
+			// follower's append+apply+fsync; its exemplar is the batch's
+			// last seq, the timeline /cluster/trace fetches.
+			sh.obs.rtt.ObserveExemplar(float64(ackNs-batch.sentNs)/1e9, int64(batch.from+batch.count-1))
+		}
 		if sh.acked > prev {
 			sh.obs.records.Add(int64(sh.acked - prev))
 			sh.obs.tracer.Record(int64(sh.acked), obs.StageFollowerAck)
 		}
 		if batch.count > 0 {
-			sh.obs.tracer.Record(int64(batch.from+batch.count-1), obs.StageShip)
+			sh.obs.tracer.RecordAt(int64(batch.from+batch.count-1), obs.StageShip, batch.sentNs)
 		}
 		if sh.acked > prev || first {
 			advanced = true

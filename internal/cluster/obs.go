@@ -21,6 +21,7 @@ type nodeObs struct {
 	handoffLat      *obs.Histogram // cluster_handoff_seconds
 	barrierPrimary  *obs.Histogram // cluster_barrier_compact_seconds{role="primary"}
 	barrierFollower *obs.Histogram // cluster_barrier_compact_seconds{role="follower"}
+	skewClamped     *obs.Counter   // trace_skew_clamped_total
 }
 
 func newNodeObs(reg *obs.Registry, hub *obs.TraceHub, log *obs.Logger) nodeObs {
@@ -36,6 +37,7 @@ func newNodeObs(reg *obs.Registry, hub *obs.TraceHub, log *obs.Logger) nodeObs {
 	no.handoffLat = reg.Histogram("cluster_handoff_seconds", "time to hand a led session to its new rendezvous primary (freeze, final ship, adopt, demote)", nil)
 	no.barrierPrimary = reg.Histogram("cluster_barrier_compact_seconds", "barrier-to-compaction latency", obs.DefLatencyBuckets, "role", "primary")
 	no.barrierFollower = reg.Histogram("cluster_barrier_compact_seconds", "barrier-to-compaction latency", obs.DefLatencyBuckets, "role", "follower")
+	no.skewClamped = reg.Counter("trace_skew_clamped_total", "cross-member trace spans whose aligned timestamps violated ship/ack causality and were clamped by the trace collector")
 	return no
 }
 
@@ -58,6 +60,7 @@ type shipperObs struct {
 	lagSeconds *obs.FloatGauge // cluster_ship_lag_seconds
 	batches    *obs.Counter    // cluster_ship_batches_total
 	records    *obs.Counter    // cluster_ship_records_total
+	rtt        *obs.Histogram  // cluster_ship_rtt_seconds
 	tracer     *obs.Tracer     // the SESSION's ring (primary side)
 }
 
@@ -70,6 +73,7 @@ func (no *nodeObs) forShipper(session string, follower MemberID) shipperObs {
 		so.lagSeconds = no.reg.FloatGauge("cluster_ship_lag_seconds", "age of the oldest record the follower has not acknowledged", "session", session, "follower", string(follower))
 		so.batches = no.reg.Counter("cluster_ship_batches_total", "ship batches acknowledged by the follower", "session", session, "follower", string(follower))
 		so.records = no.reg.Counter("cluster_ship_records_total", "event records acknowledged by the follower", "session", session, "follower", string(follower))
+		so.rtt = no.reg.Histogram("cluster_ship_rtt_seconds", "round-trip time of one acknowledged ship batch (follower append+apply+fsync included)", nil, "session", session, "follower", string(follower))
 	}
 	so.tracer = no.hub.Tracer(session)
 	return so

@@ -78,6 +78,12 @@ type shipReq struct {
 	From    int           `json:"from"`
 	Count   int           `json:"count"`
 	Barrier int           `json:"barrier,omitempty"`
+	// Batch is the shipper's per-link batch counter and SentUnixNs the
+	// primary's clock when the batch left — the correlation fields that
+	// let a merged cross-member timeline (and the follower's skew
+	// estimate) line this batch up with the follower's own records.
+	Batch      int64 `json:"batch,omitempty"`
+	SentUnixNs int64 `json:"sent_unix_ns,omitempty"`
 }
 
 // shipResp acknowledges a batch: Acked is the follower's durable
@@ -87,6 +93,13 @@ type shipReq struct {
 type shipResp struct {
 	Acked int  `json:"acked"`
 	Gap   bool `json:"gap,omitempty"`
+	// Batch echoes the request's batch ID; RecvUnixNs and AckUnixNs are
+	// the follower's clock at request receipt and at ack send. With the
+	// primary's send/receive times they form one NTP-style clock-offset
+	// sample per acknowledged batch (Node.noteClockSample).
+	Batch      int64 `json:"batch,omitempty"`
+	RecvUnixNs int64 `json:"recv_unix_ns,omitempty"`
+	AckUnixNs  int64 `json:"ack_unix_ns,omitempty"`
 }
 
 // maxShipEvents caps one ship request's event count: a follower behind
@@ -308,9 +321,10 @@ type shipper struct {
 	cfgJSON  []byte // session config marshaled once: the header embeds it verbatim
 	buf      []byte // reusable request-body buffer: batch assembly allocates nothing at steady state
 
-	acked       int  // follower's last acknowledged sequence
-	contacted   bool // at least one successful exchange happened
-	barrierSent int  // newest barrier seq delivered to the follower
+	acked       int   // follower's last acknowledged sequence
+	contacted   bool  // at least one successful exchange happened
+	barrierSent int   // newest barrier seq delivered to the follower
+	batchSeq    int64 // batches assembled on this link (the wire batch ID)
 
 	// obs holds this link's replication-lag SLI children; updated by the
 	// node's ship loop, never inside next (the zero-alloc path).
@@ -336,6 +350,8 @@ type shipBatch struct {
 	from    int
 	count   int
 	barrier int
+	id      int64 // wire batch ID
+	sentNs  int64 // primary clock at assembly (the RTT/offset sample's t0)
 }
 
 // next assembles the follower's next ship request body from the shared
@@ -349,8 +365,10 @@ func (sh *shipper) next(fd *walFeed, primary MemberID) (shipBatch, bool) {
 	if len(frames) == 0 && sh.contacted && barrier <= sh.barrierSent {
 		return shipBatch{}, false
 	}
-	sh.buf = appendShipBody(sh.buf[:0], sh.session, primary, sh.cfgJSON, start, barrier, frames)
-	return shipBatch{body: sh.buf, from: start, count: len(frames), barrier: barrier}, true
+	sh.batchSeq++
+	sentNs := time.Now().UnixNano()
+	sh.buf = appendShipBody(sh.buf[:0], sh.session, primary, sh.cfgJSON, start, barrier, frames, sh.batchSeq, sentNs)
+	return shipBatch{body: sh.buf, from: start, count: len(frames), barrier: barrier, id: sh.batchSeq, sentNs: sentNs}, true
 }
 
 // appendShipBody assembles a ship request body into dst: the shipReq
@@ -358,7 +376,7 @@ func (sh *shipper) next(fd *walFeed, primary MemberID) (shipBatch, bool) {
 // not allocate), then the raw frames. The header field order matches
 // shipReq's declaration for readability in captures; the receiver
 // decodes it with encoding/json and does not care.
-func appendShipBody(dst []byte, session string, primary MemberID, cfgJSON []byte, from, barrier int, frames [][]byte) []byte {
+func appendShipBody(dst []byte, session string, primary MemberID, cfgJSON []byte, from, barrier int, frames [][]byte, batch, sentNs int64) []byte {
 	dst = append(dst, `{"session":`...)
 	dst = appendJSONString(dst, session)
 	dst = append(dst, `,"primary":`...)
@@ -371,6 +389,10 @@ func appendShipBody(dst []byte, session string, primary MemberID, cfgJSON []byte
 	dst = strconv.AppendInt(dst, int64(len(frames)), 10)
 	dst = append(dst, `,"barrier":`...)
 	dst = strconv.AppendInt(dst, int64(barrier), 10)
+	dst = append(dst, `,"batch":`...)
+	dst = strconv.AppendInt(dst, batch, 10)
+	dst = append(dst, `,"sent_unix_ns":`...)
+	dst = strconv.AppendInt(dst, sentNs, 10)
 	dst = append(dst, '}', '\n')
 	for _, f := range frames {
 		dst = append(dst, f...)

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/strategy"
+)
+
+// fetchTrace pulls a merged cross-member timeline from one member's
+// /cluster/trace collector over its real listener.
+func fetchTrace(t *testing.T, h *harness, id MemberID, session string) *obs.TraceMerge {
+	t.Helper()
+	resp, err := h.client.Get("http://" + h.nodes[id].Addr() + "/cluster/trace/" + session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /cluster/trace/%s: %s", session, resp.Status)
+	}
+	var tm obs.TraceMerge
+	if err := json.NewDecoder(resp.Body).Decode(&tm); err != nil {
+		t.Fatalf("merged timeline does not decode: %v", err)
+	}
+	return &tm
+}
+
+// stageSet collects which (stage, member-role) pairs one event's spans
+// cover: the per-stage presence map the completeness assertions read.
+func stageSet(ev obs.TraceEvent) map[string][]string {
+	out := map[string][]string{}
+	for _, sp := range ev.Spans {
+		out[sp.Stage] = append(out[sp.Stage], sp.Member)
+	}
+	return out
+}
+
+// eventBySeq finds one seq's merged timeline.
+func eventBySeq(tm *obs.TraceMerge, seq int64) (obs.TraceEvent, bool) {
+	for _, ev := range tm.Events {
+		if ev.Seq == seq {
+			return ev, true
+		}
+	}
+	return obs.TraceEvent{}, false
+}
+
+// assertComplete requires one traced write's merged timeline to cover
+// the full end-to-end pipeline: the primary's enqueue through
+// watch-delivery, the ship, and a follower's append/apply/fsync/ack —
+// with the ack visible on BOTH ends of the wire.
+func assertComplete(t *testing.T, tm *obs.TraceMerge, seq int64, primary MemberID) {
+	t.Helper()
+	ev, ok := eventBySeq(tm, seq)
+	if !ok {
+		t.Fatalf("merged trace has no timeline for seq %d (events: %d)", seq, len(tm.Events))
+	}
+	stages := stageSet(ev)
+	for _, want := range []string{"enqueue", "apply", "view-publish", "fsync", "ship", "watch-delivery"} {
+		found := false
+		for _, m := range stages[want] {
+			if m == string(primary) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seq %d lacks primary stage %q (spans: %+v)", seq, want, ev.Spans)
+		}
+	}
+	for _, want := range []string{"follower-wal-append", "follower-apply", "follower-fsync"} {
+		followerRecorded := false
+		for _, m := range stages[want] {
+			if m != string(primary) && m != "" {
+				followerRecorded = true
+			}
+		}
+		if !followerRecorded {
+			t.Fatalf("seq %d lacks follower stage %q from any follower (spans: %+v)", seq, want, ev.Spans)
+		}
+	}
+	ackFollower, ackPrimary := false, false
+	for _, m := range stages["follower-ack"] {
+		if m == string(primary) {
+			ackPrimary = true
+		} else if m != "" {
+			ackFollower = true
+		}
+	}
+	if !ackFollower || !ackPrimary {
+		t.Fatalf("seq %d follower-ack not visible on both ends (follower %v, primary %v; spans: %+v)",
+			seq, ackFollower, ackPrimary, ev.Spans)
+	}
+	for i, sp := range ev.Spans {
+		if sp.DurNs < 0 {
+			t.Fatalf("seq %d span %d has negative duration: %+v", seq, i, sp)
+		}
+	}
+	if ev.TotalNs <= 0 {
+		t.Fatalf("seq %d total %d, want > 0", seq, ev.TotalNs)
+	}
+}
+
+// TestClusterTraceE2E drives a real 3-member cluster and asserts the
+// trace collector's contract end to end: a traced write's merged
+// timeline — fetched from a NON-primary member — covers every owner-set
+// member and the complete enqueue → follower-ack → watch-delivery
+// pipeline, and keeps doing so through a primary failover.
+func TestClusterTraceE2E(t *testing.T) {
+	h := newObsHarness(t, 3, 2)
+	script := testScript(107, 40, 120)
+	ri := h.createSession("trace-fo", SessionConfig{Strategies: clusterNames, SyncEvery: 1, SegmentBytes: 4096})
+	if len(ri.Followers) != 2 {
+		t.Fatalf("expected 2 followers, got %v", ri.Followers)
+	}
+	primary := ri.Primary.ID
+
+	// A live watcher on the primary, drained promptly, so the traced
+	// writes earn their watch-delivery stage.
+	watchOn := func(n *Node) func() {
+		s, ok := n.Manager().Get("trace-fo")
+		if !ok {
+			t.Fatalf("%s does not serve the session live", n.ID())
+		}
+		ch, cancel := s.Watch()
+		done := make(chan struct{})
+		go func() {
+			for range ch {
+			}
+			close(done)
+		}()
+		return func() { cancel(); <-done }
+	}
+	stopWatch := watchOn(h.nodes[primary])
+
+	// Warm-up traffic, shipped in bulk; then the traced writes, one
+	// batch each, so every traced seq closes its own ship/ack round trip.
+	k := 40
+	h.applyEvents("trace-fo", script[:k])
+	h.shipAll()
+	traced := int64(0)
+	for i := k; i < k+4; i++ {
+		h.applyEvents("trace-fo", []strategy.Event{script[i]})
+		h.shipAll()
+		traced = int64(i + 1)
+	}
+	stopWatch()
+
+	// The collector answers on ANY member: fetch from a follower.
+	collector := ri.Followers[0].ID
+	tm := fetchTrace(t, h, collector, "trace-fo")
+	if tm.Session != "trace-fo" {
+		t.Fatalf("merged session %q", tm.Session)
+	}
+	if len(tm.Members) != 3 {
+		t.Fatalf("merge covers %d members, want the whole owner set (3): %+v", len(tm.Members), tm.Members)
+	}
+	for _, mi := range tm.Members {
+		if mi.Down {
+			t.Fatalf("healthy member reported down: %+v", mi)
+		}
+		if mi.Entries == 0 {
+			t.Fatalf("owner-set member %s contributed no ring entries", mi.Member)
+		}
+	}
+	assertComplete(t, tm, traced, primary)
+	if len(tm.Stages) == 0 {
+		t.Fatal("merged trace carries no per-stage percentiles")
+	}
+
+	// Failover: kill the primary, let the survivors detect and promote,
+	// and re-assert the full pipeline for a post-failover write.
+	h.crash(primary)
+	h.tickAll(4)
+	h.reconcileAll()
+	pn := h.nodeHosting("trace-fo")
+	if pn.ID() == primary {
+		t.Fatalf("session still hosted on crashed %s", primary)
+	}
+	stopWatch = watchOn(pn)
+	base := h.seqOf("trace-fo")
+	for i := 0; i < 3; i++ {
+		h.applyEvents("trace-fo", []strategy.Event{script[k+4+i]})
+		h.shipAll()
+	}
+	stopWatch()
+	tracedFO := int64(base + 3)
+
+	// Fetch from the surviving member that is NOT the new primary.
+	var other MemberID
+	for _, id := range h.order {
+		if !h.crashed[id] && id != pn.ID() {
+			other = id
+		}
+	}
+	if other == "" {
+		t.Fatal("no non-primary survivor to fetch from")
+	}
+	tm = fetchTrace(t, h, other, "trace-fo")
+	if len(tm.Members) != 2 {
+		t.Fatalf("post-failover merge covers %d members, want the surviving owner set (2): %+v", len(tm.Members), tm.Members)
+	}
+	assertComplete(t, tm, tracedFO, pn.ID())
+}
+
+// TestClusterTraceSinceSeqAndUnknown: the collector passes since_seq
+// through to every fetched ring, and an unknown session merges to an
+// empty (not erroring) timeline.
+func TestClusterTraceSinceSeq(t *testing.T) {
+	h := newObsHarness(t, 3, 1)
+	script := testScript(109, 30, 40)
+	ri := h.createSession("trace-since", SessionConfig{Strategies: clusterNames, SyncEvery: 1})
+	h.applyEvents("trace-since", script)
+	h.shipAll()
+
+	addr := h.nodes[ri.Primary.ID].Addr()
+	get := func(path string) *obs.TraceMerge {
+		resp, err := h.client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		var tm obs.TraceMerge
+		if err := json.NewDecoder(resp.Body).Decode(&tm); err != nil {
+			t.Fatal(err)
+		}
+		return &tm
+	}
+	since := len(script) - 5
+	tm := get(fmt.Sprintf("/cluster/trace/trace-since?since_seq=%d", since))
+	if len(tm.Events) == 0 {
+		t.Fatal("since_seq fetch returned no events")
+	}
+	for _, ev := range tm.Events {
+		if ev.Seq < int64(since) {
+			t.Fatalf("since_seq=%d leaked seq %d", since, ev.Seq)
+		}
+	}
+
+	if tm := get("/cluster/trace/never-created"); len(tm.Events) != 0 {
+		t.Fatalf("unknown session merged %d events", len(tm.Events))
+	}
+
+	resp, err := h.client.Get("http://" + addr + "/cluster/trace/trace-since?since_seq=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus since_seq answered %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+// Fleet trace collector: GET /cluster/trace/{session} fans out to the
+// session's owner set (primary + followers), pulls each member's
+// flight-recorder ring, aligns remote timestamps with the gossip- and
+// ship-derived clock-offset estimates, and serves one merged end-to-end
+// timeline per sequence number — the cross-process waterfall for
+// "where did that write spend its time". Served by ANY member; the
+// merge runs entirely on the request goroutine.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// handleClusterTrace serves GET /cluster/trace/{id}?since_seq=N: the
+// session's merged cross-member timeline. Owner-set members that fail
+// to answer within the scrape timeout are reported Down in the merge
+// rather than stalling or hiding the page.
+func (n *Node) handleClusterTrace(w http.ResponseWriter, r *http.Request) {
+	session := r.PathValue("id")
+	since := int64(-1 << 63)
+	if s := r.URL.Query().Get("since_seq"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: bad since_seq %q: %w", s, err))
+			return
+		}
+		since = v
+	}
+	owners := Owners(session, n.ms.Alive(), n.cfg.Replicas+1)
+	if len(owners) == 0 {
+		httpErr(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no live members"))
+		return
+	}
+	var (
+		mu  sync.Mutex
+		mts []obs.MemberTrace
+		wg  sync.WaitGroup
+	)
+	add := func(mt obs.MemberTrace) {
+		mu.Lock()
+		mts = append(mts, mt)
+		mu.Unlock()
+	}
+	for _, m := range owners {
+		if m.ID == n.cfg.ID {
+			// Self: read the ring in-process. Peek (not Tracer) so the
+			// collector never fabricates an empty ring for a session this
+			// member does not actually hold.
+			var entries []obs.TraceEntry
+			if t := n.obs.hub.Peek(session); t != nil {
+				entries = t.Entries(since)
+			}
+			add(obs.MemberTrace{Member: string(n.cfg.ID), Entries: entries})
+			continue
+		}
+		if m.Addr == "" {
+			add(obs.MemberTrace{Member: string(m.ID), Down: true})
+			continue
+		}
+		wg.Add(1)
+		go func(id MemberID, addr string) {
+			defer wg.Done()
+			entries, err := n.scrapeTrace(addr, session, since)
+			if err != nil {
+				add(obs.MemberTrace{Member: string(id), Down: true})
+				return
+			}
+			// OffsetNs aligns the peer's clock to ours; 0 (no sample yet)
+			// merges unaligned and lets the causality clamp flag the skew.
+			add(obs.MemberTrace{Member: string(id), OffsetNs: n.offsetOf(id), Entries: entries})
+		}(m.ID, m.Addr)
+	}
+	wg.Wait()
+
+	merged := obs.MergeTraces(session, mts)
+	if merged.SkewClamped > 0 {
+		n.obs.skewClamped.Add(merged.SkewClamped)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// scrapeTrace fetches one peer's flight-recorder ring for a session.
+func (n *Node) scrapeTrace(addr, session string, since int64) ([]obs.TraceEntry, error) {
+	url := "http://" + addr + "/debug/trace/" + session
+	if since != -1<<63 {
+		url += "?since_seq=" + strconv.FormatInt(since, 10)
+	}
+	resp, err := n.scrapeClient.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: trace scrape %s: %s", addr, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseTrace(body)
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -291,6 +292,75 @@ func appendEscapedHelp(b []byte, help string) []byte {
 		}
 	}
 	return b
+}
+
+// HistogramExemplar is one histogram series' retained worst-recent
+// observation — the JSON shape of GET /debug/exemplars. Labels is the
+// series' rendered label string (`session="x"`), so a p99 spotted on
+// /metrics resolves to the (session, seq) whose timeline
+// /cluster/trace/{session}?since_seq={seq} fetches.
+type HistogramExemplar struct {
+	Family string  `json:"family"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+	Seq    int64   `json:"seq"`
+	At     int64   `json:"at_unix_ns"`
+}
+
+// Exemplars collects every histogram series' retained exemplar, sorted
+// by (family, labels). Series that never retained one are omitted.
+func (r *Registry) Exemplars() []HistogramExemplar {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var hs []struct {
+		family, labels string
+		h              *Histogram
+	}
+	for name, f := range r.families {
+		if f.typ != typeHistogram {
+			continue
+		}
+		for _, ch := range f.children {
+			hs = append(hs, struct {
+				family, labels string
+				h              *Histogram
+			}{name, ch.labels, ch.h})
+		}
+	}
+	r.mu.Unlock()
+	var out []HistogramExemplar
+	for _, e := range hs {
+		if v, seq, at, ok := e.h.Exemplar(); ok {
+			out = append(out, HistogramExemplar{Family: e.family, Labels: e.labels, Value: v, Seq: seq, At: at})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// ExemplarHandler serves GET /debug/exemplars: the retained worst-recent
+// observation of every histogram series, as JSON. A nil registry serves
+// an empty list.
+func (r *Registry) ExemplarHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		ex := r.Exemplars()
+		if ex == nil {
+			ex = []HistogramExemplar{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ex)
+	})
 }
 
 // Render returns the full exposition as a string (handy for in-process

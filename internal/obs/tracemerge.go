@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// TraceEntry is the public shape of one flight-recorder record — what
+// Tracer.WriteJSON emits and ParseTrace reads back. Member is empty
+// when the emitting hub had no identity configured (standalone mode).
+type TraceEntry struct {
+	Seq    int64  `json:"seq"`
+	Member string `json:"member,omitempty"`
+	Stage  string `json:"stage"`
+	At     int64  `json:"at_unix_ns"`
+}
+
+// ParseTrace decodes one member's /debug/trace/{session} body. The
+// round trip with Tracer.WriteJSON is fuzz-tested.
+func ParseTrace(data []byte) ([]TraceEntry, error) {
+	var out []TraceEntry
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MemberTrace is one member's contribution to a merged timeline: its
+// ring entries plus the collector's clock-offset estimate for it.
+// OffsetNs is (member clock - collector clock), so aligning a remote
+// timestamp into the collector's clock is at - OffsetNs. Down marks an
+// owner-set member whose ring could not be fetched; its entry list is
+// empty but its absence stays visible in the merge.
+type MemberTrace struct {
+	Member   string
+	OffsetNs int64
+	Down     bool
+	Entries  []TraceEntry
+}
+
+// TraceSpan is one stage of one event in the merged waterfall, with
+// timestamps aligned to the collector's clock. DurNs is the time since
+// the previous span of the same event (0 for the first). Clamped marks
+// a span whose aligned timestamp violated cross-member causality
+// (residual clock skew beyond the offset estimate): it was clamped to
+// the causal bound rather than silently rendered out of order.
+type TraceSpan struct {
+	Stage   string `json:"stage"`
+	Member  string `json:"member,omitempty"`
+	At      int64  `json:"at_unix_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Clamped bool   `json:"clamped,omitempty"`
+}
+
+// TraceEvent is one event's end-to-end timeline across every member
+// that recorded a stage for its seq.
+type TraceEvent struct {
+	Seq     int64       `json:"seq"`
+	Spans   []TraceSpan `json:"spans"`
+	TotalNs int64       `json:"total_ns"`
+}
+
+// StageStat aggregates one stage's span durations across every merged
+// event — the per-stage latency profile of the waterfall.
+type StageStat struct {
+	Stage string `json:"stage"`
+	Count int    `json:"count"`
+	P50Ns int64  `json:"p50_ns"`
+	P90Ns int64  `json:"p90_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
+}
+
+// TraceMemberInfo reports one contributing member in the merged output.
+type TraceMemberInfo struct {
+	Member   string `json:"member"`
+	OffsetNs int64  `json:"offset_ns"`
+	Down     bool   `json:"down,omitempty"`
+	Entries  int    `json:"entries"`
+}
+
+// TraceMerge is the merged cross-member timeline for one session —
+// the body of GET /cluster/trace/{session}.
+type TraceMerge struct {
+	Session     string            `json:"session"`
+	Members     []TraceMemberInfo `json:"members"`
+	Events      []TraceEvent      `json:"events"`
+	Stages      []StageStat       `json:"stages"`
+	SkewClamped int64             `json:"skew_clamped"`
+}
+
+// stageRank orders stages within one event when aligned timestamps tie:
+// the primary pipeline, then the follower pipeline, then delivery.
+var stageRank = map[string]int{
+	"enqueue":             0,
+	"apply":               1,
+	"view-publish":        2,
+	"watch-delivery":      3,
+	"fsync":               4,
+	"ship":                5,
+	"follower-wal-append": 6,
+	"follower-apply":      7,
+	"follower-fsync":      8,
+	"follower-ack":        9,
+}
+
+// followerStages are the stages a follower records for a shipped
+// record — the ones the causality clamp applies to, because each
+// happens after the primary's ship and before the primary receives the
+// ack.
+var followerStages = map[string]bool{
+	"follower-wal-append": true,
+	"follower-apply":      true,
+	"follower-fsync":      true,
+	"follower-ack":        true,
+}
+
+// MergeTraces assembles per-member flight-recorder rings into one
+// end-to-end timeline per seq — the trace analogue of Merge for
+// metrics. Remote timestamps are aligned into the collector's clock via
+// each member's offset estimate; residual skew that violates ship/ack
+// causality is clamped to the causal bound, flagged on the span, and
+// counted in SkewClamped (feed it to trace_skew_clamped_total), never
+// silently rendered. Duplicate records of the same (member, stage, seq)
+// — a shipper re-recording an ack, a wrapped ring overlapping a
+// previous fetch — keep their earliest timestamp.
+func MergeTraces(session string, members []MemberTrace) *TraceMerge {
+	m := &TraceMerge{Session: session}
+
+	type spanKey struct {
+		seq    int64
+		member string
+		stage  string
+	}
+	spans := make(map[spanKey]*TraceSpan)
+	bySeq := make(map[int64][]*TraceSpan)
+	for _, mt := range members {
+		m.Members = append(m.Members, TraceMemberInfo{
+			Member: mt.Member, OffsetNs: mt.OffsetNs, Down: mt.Down, Entries: len(mt.Entries),
+		})
+		for _, e := range mt.Entries {
+			member := e.Member
+			if member == "" {
+				member = mt.Member
+			}
+			at := e.At - mt.OffsetNs
+			k := spanKey{seq: e.Seq, member: member, stage: e.Stage}
+			if prev, ok := spans[k]; ok {
+				if at < prev.At {
+					prev.At = at
+				}
+				continue
+			}
+			sp := &TraceSpan{Stage: e.Stage, Member: member, At: at}
+			spans[k] = sp
+			bySeq[e.Seq] = append(bySeq[e.Seq], sp)
+		}
+	}
+	sort.Slice(m.Members, func(i, j int) bool { return m.Members[i].Member < m.Members[j].Member })
+
+	seqs := make([]int64, 0, len(bySeq))
+	for seq := range bySeq {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	durs := make(map[string][]int64)
+	for _, seq := range seqs {
+		ss := bySeq[seq]
+		// Causality clamp: a follower's stages for seq happen after the
+		// primary shipped it and before the primary received the ack.
+		// An aligned timestamp outside that window is residual clock
+		// skew — pin it to the violated bound and flag it.
+		var shipAt, ackRecvAt int64
+		var shipMember string
+		haveShip, haveAckRecv := false, false
+		for _, sp := range ss {
+			if sp.Stage == "ship" && (!haveShip || sp.At < shipAt) {
+				shipAt, shipMember, haveShip = sp.At, sp.Member, true
+			}
+		}
+		for _, sp := range ss {
+			if sp.Stage == "follower-ack" && sp.Member == shipMember && haveShip {
+				if !haveAckRecv || sp.At > ackRecvAt {
+					ackRecvAt, haveAckRecv = sp.At, true
+				}
+			}
+		}
+		for _, sp := range ss {
+			if !followerStages[sp.Stage] || sp.Member == shipMember {
+				continue
+			}
+			if haveShip && sp.At < shipAt {
+				sp.At = shipAt
+				sp.Clamped = true
+				m.SkewClamped++
+			} else if haveAckRecv && sp.At > ackRecvAt {
+				sp.At = ackRecvAt
+				sp.Clamped = true
+				m.SkewClamped++
+			}
+		}
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].At != ss[j].At {
+				return ss[i].At < ss[j].At
+			}
+			if ri, rj := stageRank[ss[i].Stage], stageRank[ss[j].Stage]; ri != rj {
+				return ri < rj
+			}
+			return ss[i].Member < ss[j].Member
+		})
+		ev := TraceEvent{Seq: seq, Spans: make([]TraceSpan, len(ss))}
+		for i, sp := range ss {
+			if i > 0 {
+				sp.DurNs = sp.At - ss[i-1].At
+				if sp.DurNs < 0 {
+					// Unreachable after the sort, but the contract is
+					// "never render a negative duration": clamp + flag.
+					sp.DurNs = 0
+					sp.Clamped = true
+					m.SkewClamped++
+				}
+			}
+			ev.Spans[i] = *sp
+			durs[sp.Stage] = append(durs[sp.Stage], sp.DurNs)
+		}
+		ev.TotalNs = ss[len(ss)-1].At - ss[0].At
+		m.Events = append(m.Events, ev)
+	}
+
+	stages := make([]string, 0, len(durs))
+	for st := range durs {
+		stages = append(stages, st)
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		if ri, rj := stageRank[stages[i]], stageRank[stages[j]]; ri != rj {
+			return ri < rj
+		}
+		return stages[i] < stages[j]
+	})
+	for _, st := range stages {
+		ds := durs[st]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		m.Stages = append(m.Stages, StageStat{
+			Stage: st,
+			Count: len(ds),
+			P50Ns: quantileNs(ds, 0.50),
+			P90Ns: quantileNs(ds, 0.90),
+			P99Ns: quantileNs(ds, 0.99),
+			MaxNs: ds[len(ds)-1],
+		})
+	}
+	return m
+}
+
+// quantileNs reads the q-quantile from an ascending-sorted slice
+// (nearest-rank).
+func quantileNs(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

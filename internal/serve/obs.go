@@ -57,6 +57,11 @@ func (m *Metrics) evictTrace(id string) {
 // value (every field nil, on false) is the uninstrumented no-op state.
 type sessionObs struct {
 	on bool // any instrumentation attached: gates the time.Now() calls
+	// follower marks a replica's bundle: the apply path then records the
+	// follower-* trace stages instead of the primary ones, so a merged
+	// cross-member timeline tells the two applies of one event apart.
+	follower bool
+	id       string // session identity, for the slow-event ring
 
 	applied       *obs.Counter   // serve_events_applied_total
 	rejected      *obs.Counter   // serve_backpressure_total
@@ -68,6 +73,7 @@ type sessionObs struct {
 	watchers      *obs.Gauge     // serve_watchers
 	watchDrops    *obs.Counter   // serve_watch_disconnects_total
 	tracer        *obs.Tracer
+	hub           *obs.TraceHub // slow-event ring feed (nil-safe)
 }
 
 // forSession resolves the per-session children (nil receiver yields the
@@ -76,7 +82,7 @@ func (m *Metrics) forSession(id string) sessionObs {
 	if m == nil {
 		return sessionObs{}
 	}
-	so := sessionObs{on: true}
+	so := sessionObs{on: true, id: id, hub: m.hub}
 	if r := m.reg; r != nil {
 		so.applied = r.Counter("serve_events_applied_total", "events applied by the session writer (live applies, not recovery replay)", "session", id)
 		so.rejected = r.Counter("serve_backpressure_total", "submissions rejected with 429 because the mailbox was full", "session", id)
@@ -107,6 +113,16 @@ func (m *Metrics) forWAL(id string) walObs {
 	}
 	wo.tracer = m.hub.Tracer(id)
 	return wo
+}
+
+// markFollower flips a replica's bundles to the follower-* trace
+// stages (Metrics.forSession/forWAL build primary-stage bundles; the
+// replica constructors re-mark them).
+func (s *Session) markFollower() {
+	s.obs.follower = true
+	if s.wal != nil {
+		s.wal.obs.follower = true
+	}
 }
 
 // forRecode resolves per-strategy recode-latency histograms, aligned

@@ -257,6 +257,7 @@ func (m *Manager) NewReplica(id string, cfg Config, snap trace.Snapshot) (*Repli
 	if err != nil {
 		return nil, err
 	}
+	s.markFollower()
 	r := &Replica{s: s, path: path}
 	m.replicas[id] = r
 	return r, nil
@@ -291,6 +292,7 @@ func (m *Manager) OpenReplica(id string, cfg Config) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.markFollower()
 	r := &Replica{s: s, path: path}
 	m.replicas[id] = r
 	return r, nil
@@ -337,6 +339,7 @@ func (m *Manager) InstallReplica(id string, cfg Config, src io.Reader) (*Replica
 	if err != nil {
 		return nil, err
 	}
+	s.markFollower()
 	r := &Replica{s: s, path: path}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -155,6 +155,11 @@ type request struct {
 	ev   strategy.Event
 	res  chan error
 	fn   func(*inspectState)
+	// enq is the mailbox-admission time (unix ns), carried with the
+	// event so StageEnqueue can be recorded against the REAL applied seq
+	// once it is known — a parallel submit counter desyncs permanently
+	// the first time the engine refuses an event. 0 when uninstrumented.
+	enq int64
 }
 
 // inspectState hands tests and tools race-safe access to the writer's
@@ -196,8 +201,7 @@ type Session struct {
 
 	// Observability (no-op zero values when uninstrumented).
 	obs          sessionObs
-	submits      atomic.Int64 // enqueue-stage seq estimate for the tracer
-	pendingSince time.Time    // apply time of the oldest unpublished shard event
+	pendingSince time.Time // apply time of the oldest unpublished shard event
 
 	done chan struct{}
 }
@@ -363,7 +367,6 @@ func buildSession(id string, cfg Config, walPath string) (*Session, error) {
 	s.obs = cfg.metrics.forSession(id)
 	s.wal.obs = cfg.metrics.forWAL(id)
 	s.obs.viewSeq.Set(int64(s.seq))
-	s.submits.Store(int64(s.seq))
 	return s, nil
 }
 
@@ -555,14 +558,16 @@ func (s *Session) enqueue(req request) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.obs.on && req.kind == reqEvent {
+		// The admission time rides the request; the writer records
+		// StageEnqueue with it once the applied seq is known, so refused
+		// events never desync the trace from the sequence.
+		req.enq = time.Now().UnixNano()
+	}
 	select {
 	case s.mail <- req:
 		if s.obs.on && req.kind == reqEvent {
 			s.obs.mailboxDepth.Set(int64(len(s.mail)))
-			// The enqueue-stage seq is an estimate: submissions later
-			// refused by the engine consume a number without consuming a
-			// sequence. Good enough for a flight recorder.
-			s.obs.tracer.Record(s.submits.Add(1), obs.StageEnqueue)
 		}
 		return nil
 	default:
@@ -602,6 +607,12 @@ func (s *Session) run() {
 					err = s.applyShard(req.ev, true)
 				} else {
 					err = s.applyEngine(req.ev, true)
+				}
+				if err == nil && req.enq != 0 {
+					// Applied: s.seq is now the event's real sequence
+					// number — the enqueue stage correlates exactly
+					// (carried admission time, post-apply record).
+					s.obs.tracer.RecordAt(int64(s.seq), obs.StageEnqueue, req.enq)
 				}
 			}
 			if req.res != nil {
@@ -708,15 +719,21 @@ func (s *Session) applyEngine(ev strategy.Event, logIt bool) error {
 	nv := s.view.Load().next(ev, postCfg, s.eng.Network().Size(), outs, s.metrics)
 	s.view.Store(nv)
 	if s.obs.on {
+		el := time.Since(t0)
 		if logIt {
 			s.obs.applied.Inc()
 		}
-		s.obs.applyLat.ObserveSince(t0)
+		s.obs.applyLat.ObserveExemplar(el.Seconds(), int64(s.seq))
 		s.obs.viewSeq.Set(int64(s.seq))
 		s.obs.viewPublishes.Inc()
-		s.obs.viewAge.ObserveSince(t0)
-		s.obs.tracer.Record(int64(s.seq), obs.StageApply)
+		s.obs.viewAge.Observe(el.Seconds())
+		st := obs.StageApply
+		if s.obs.follower {
+			st = obs.StageFollowerApply
+		}
+		s.obs.tracer.Record(int64(s.seq), st)
 		s.obs.tracer.Record(int64(s.seq), obs.StageViewPublish)
+		s.obs.hub.NoteSlow(s.obs.id, int64(s.seq), int64(el))
 	}
 	s.notify(Delta{Seq: s.seq, Event: ev, Recoded: recodedByName(s.cfg.Strategies, outs)})
 	if logIt && s.wal != nil && s.cfg.CompactEvery > 0 && s.wal.tail >= s.cfg.CompactEvery {
@@ -748,14 +765,20 @@ func (s *Session) applyShard(ev strategy.Event, logIt bool) error {
 	}
 	s.seq++
 	if s.obs.on {
+		el := time.Since(t0)
 		if s.pending == 0 {
 			s.pendingSince = t0
 		}
 		if logIt {
 			s.obs.applied.Inc()
 		}
-		s.obs.applyLat.ObserveSince(t0)
-		s.obs.tracer.Record(int64(s.seq), obs.StageApply)
+		s.obs.applyLat.ObserveExemplar(el.Seconds(), int64(s.seq))
+		st := obs.StageApply
+		if s.obs.follower {
+			st = obs.StageFollowerApply
+		}
+		s.obs.tracer.Record(int64(s.seq), st)
+		s.obs.hub.NoteSlow(s.obs.id, int64(s.seq), int64(el))
 	}
 	s.pending++
 	return nil
@@ -894,6 +917,7 @@ func (s *Session) notify(d Delta) {
 	s.watchMu.Lock()
 	ws := append([]*watcher(nil), s.watchers...)
 	s.watchMu.Unlock()
+	delivered := false
 	for _, w := range ws {
 		if !w.deliver(d) {
 			s.obs.watchDrops.Inc()
@@ -906,7 +930,12 @@ func (s *Session) notify(d Delta) {
 			}
 			s.obs.watchers.Set(int64(len(s.watchers)))
 			s.watchMu.Unlock()
+		} else {
+			delivered = true
 		}
+	}
+	if delivered && s.obs.on {
+		s.obs.tracer.Record(int64(d.Seq), obs.StageWatchDelivery)
 	}
 }
 

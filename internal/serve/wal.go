@@ -22,6 +22,11 @@ import (
 // build (Metrics.forWAL). The zero value is the uninstrumented no-op
 // state — every field nil, so the hot-path updates cost one nil check.
 type walObs struct {
+	// follower marks a replica's WAL: appends and fsyncs then record
+	// the follower-* trace stages (the member-resolved halves of a
+	// merged cross-process timeline).
+	follower bool
+
 	bytes       *obs.Counter   // serve_wal_appended_bytes_total
 	records     *obs.Counter   // serve_wal_records_total
 	fsyncs      *obs.Counter   // serve_wal_fsyncs_total
@@ -332,6 +337,9 @@ func (w *wal) append(ev strategy.Event) error {
 	w.tail++
 	w.sinceSync++
 	w.obs.records.Inc()
+	if w.obs.follower {
+		w.obs.tracer.Record(int64(w.seq), obs.StageFollowerWALAppend)
+	}
 	if w.syncEvery > 0 && w.sinceSync >= w.syncEvery {
 		return w.sync()
 	}
@@ -400,9 +408,13 @@ func (w *wal) sync() error {
 	if err == nil {
 		w.obs.fsyncs.Inc()
 		if w.obs.fsyncLat != nil {
-			w.obs.fsyncLat.ObserveSince(t0)
+			w.obs.fsyncLat.ObserveExemplar(time.Since(t0).Seconds(), int64(w.seq))
 		}
-		w.obs.tracer.Record(int64(w.seq), obs.StageFsync)
+		st := obs.StageFsync
+		if w.obs.follower {
+			st = obs.StageFollowerFsync
+		}
+		w.obs.tracer.Record(int64(w.seq), st)
 	}
 	return err
 }
