@@ -59,6 +59,10 @@ func main() {
 		serveDir        = flag.String("serve-dir", "", "load-generator mode: WAL directory (empty disables durability)")
 		clusterSmoke    = flag.Bool("cluster-smoke", false, "cluster mode: run an in-process 3-member cluster over real HTTP, kill the primary mid-run, keep writing through the failover, and verify against an uncrashed reference")
 		clusterReplicas = flag.Int("cluster-replicas", 2, "cluster mode: follower replicas per session")
+		chaosMatrix     = flag.Bool("chaos-matrix", false, "chaos mode: sweep a seeded loss/dup/reorder scenario grid against parity oracles, then run a 3-member network-partition soak with link faults")
+		chaosFull       = flag.Bool("chaos-full", false, "chaos mode: run the full knob grid (27 combos) instead of the CI smoke subset")
+		chaosSeed       = flag.Uint64("chaos-seed", 1, "chaos mode: scenario seed (a failing run reproduces from this seed alone)")
+		chaosLog        = flag.String("chaos-log", "", "chaos mode: write the NDJSON chaos event log to this path")
 		verbose         = flag.Bool("v", false, "per-event output")
 	)
 	flag.Parse()
@@ -70,6 +74,10 @@ func main() {
 	p.ArenaW, p.ArenaH = *arena, *arena
 	gx, gy := gridFor(*shards)
 
+	if *chaosMatrix {
+		runChaosMatrix(*chaosSeed, *chaosFull, *chaosLog, *verbose)
+		return
+	}
 	if *clusterSmoke {
 		runClusterLoad(p, *churn, *hotspots, *seed, *clusterReplicas, *verbose)
 		return

@@ -18,6 +18,7 @@ var requiredDocs = []string{
 	"docs/architecture.md",
 	"docs/wal.md",
 	"docs/observability.md",
+	"docs/chaos.md",
 	"ROADMAP.md",
 	"CHANGES.md",
 	"PAPERS.md",

@@ -56,6 +56,11 @@ type Config struct {
 	Nodes int
 	// Registry receives the canary_ SLI families (nil: probe silently).
 	Registry *obs.Registry
+	// Transport, when set, is the base RoundTripper under both probe
+	// clients — the seam the chaos fault injector (internal/chaos)
+	// threads through so tests can cut the canary's OWN links and watch
+	// the availability SLIs dip. nil uses http.DefaultTransport.
+	Transport http.RoundTripper
 	// Log receives probe failures at warn level (nil: quiet).
 	Log *obs.Logger
 }
@@ -107,8 +112,8 @@ func New(cfg Config) *Prober {
 	p := &Prober{
 		cfg:         cfg,
 		base:        base,
-		client:      &http.Client{Timeout: cfg.Timeout},
-		watchClient: &http.Client{},
+		client:      &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
+		watchClient: &http.Client{Transport: cfg.Transport},
 	}
 	reg := cfg.Registry
 	lbl := []string{"session", cfg.Session}
@@ -294,6 +299,11 @@ func (p *Prober) noteWrite(ok bool, now time.Time) {
 		return
 	}
 	d := now.Sub(p.outageStart).Seconds()
+	if d < 0 {
+		// A wall-clock step between the failure and the healing write
+		// must never publish a negative window.
+		d = 0
+	}
 	p.blackout.Observe(d)
 	p.blackouts.Inc()
 	p.lastBlackout.Set(d)

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/xrand"
+)
+
+// FaultEngine is the knob surface a Schedule drives — dist.Engine
+// satisfies it. Keeping it an interface here means chaos composes
+// faults without importing the protocol runtime.
+type FaultEngine interface {
+	Unreliable(seed uint64, p float64, maxDrops int)
+	Duplicate(seed uint64, p float64, maxDups int)
+	Reorder(seed uint64, p float64, maxDefers int)
+}
+
+// Phase is one leg of a chaos schedule: the engine fault probabilities
+// in force, how many script events run under them, and (for cluster
+// runs) which partition to impose — nil groups means healed.
+type Phase struct {
+	Name    string     `json:"name"`
+	Events  int        `json:"events"`
+	Loss    float64    `json:"loss,omitempty"`
+	Dup     float64    `json:"dup,omitempty"`
+	Reorder float64    `json:"reorder,omitempty"`
+	Groups  [][]string `json:"groups,omitempty"`
+}
+
+// Schedule composes fault phases from ONE seed: every phase's engine
+// knobs are re-seeded from a per-phase split of the master seed, so the
+// whole multi-phase run replays bit-identically from (seed, phases).
+// Applied phases are appended to an event log for reproduction.
+type Schedule struct {
+	Seed   uint64
+	Phases []Phase
+
+	step int
+	log  []Event
+}
+
+// NewSchedule builds a schedule over the given phases.
+func NewSchedule(seed uint64, phases []Phase) *Schedule {
+	return &Schedule{Seed: seed, Phases: phases}
+}
+
+// PhaseSeed derives phase i's deterministic sub-seed: a splitmix64
+// stream seeded by the master seed, advanced i+1 times. Independent of
+// every other phase's draws.
+func (s *Schedule) PhaseSeed(i int) uint64 {
+	rng := xrand.New(s.Seed)
+	var v uint64
+	for k := 0; k <= i; k++ {
+		v = rng.Uint64()
+	}
+	return v
+}
+
+// Apply sets phase i's fault knobs on the engine (and, when a Net and
+// groups are present, imposes the phase's partition — or heals when the
+// phase has none), logging the action. Retry bounds are fixed generous
+// constants: the knobs model unbounded-retry links, and the bounds only
+// guard the test harness against adversarial seeds.
+func (s *Schedule) Apply(i int, e FaultEngine, n *Net) {
+	ph := s.Phases[i]
+	sub := xrand.New(s.PhaseSeed(i))
+	if e != nil {
+		e.Unreliable(sub.Uint64(), ph.Loss, 8)
+		e.Duplicate(sub.Uint64(), ph.Dup, 4)
+		e.Reorder(sub.Uint64(), ph.Reorder, 8)
+	}
+	if n != nil {
+		if len(ph.Groups) > 0 {
+			n.Partition(ph.Groups...)
+		} else {
+			n.Heal()
+		}
+	}
+	b, _ := json.Marshal(ph)
+	s.step++
+	s.log = append(s.log, Event{Step: s.step, Action: "phase", Detail: string(b)})
+}
+
+// Events snapshots the schedule's applied-phase log.
+func (s *Schedule) Events() []Event {
+	out := make([]Event, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// WriteLog writes the applied-phase log as NDJSON.
+func (s *Schedule) WriteLog(w io.Writer) error {
+	for _, e := range s.Events() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

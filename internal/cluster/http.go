@@ -180,6 +180,13 @@ func (n *Node) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if n.cfg.RequireQuorum && !n.ms.Quorum() {
+		// A minority-side member must not place new sessions: its alive
+		// view is wrong and the session would be created outside the
+		// majority's placement.
+		retryErr(w, fmt.Errorf("cluster: %s sees no membership quorum; session creation refused", n.cfg.ID))
+		return
+	}
 	ri, ok := n.primaryFor(req.ID)
 	if !ok {
 		httpErr(w, http.StatusServiceUnavailable, errors.New("cluster: no live members"))
@@ -258,11 +265,24 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, fmt.Errorf("cluster: ship body holds %d events, header announced %d", len(evs), req.Count))
 		return
 	}
-	if _, isPrimary := n.localPrimary(id); isPrimary {
-		// A stale shipper from a previous epoch; refuse rather than
-		// fork the session.
-		httpErr(w, http.StatusConflict, fmt.Errorf("cluster: %s leads %q; not accepting shipped records", n.cfg.ID, id))
-		return
+	if ps, isPrimary := n.localPrimary(id); isPrimary {
+		if req.Config.Epoch > ps.cfg.Epoch {
+			// The shipper leads a NEWER generation: our own leadership
+			// was superseded while we were partitioned away. Step down
+			// and wipe — our history may have forked — then fall through
+			// to the no-replica path, which rebuilds this member from
+			// the winner by snapshot catch-up.
+			if err := n.yieldLeadership(id, req.Primary); err != nil {
+				httpErr(w, http.StatusInternalServerError, err)
+				return
+			}
+		} else {
+			// A stale shipper from a previous (or conflicting) epoch;
+			// refuse rather than fork the session. The shipper resolves
+			// the conflict via the epoch rule on its side.
+			httpErr(w, http.StatusConflict, fmt.Errorf("cluster: %s leads %q; not accepting shipped records", n.cfg.ID, id))
+			return
+		}
 	}
 	rep, ok := n.mgr.GetReplica(id)
 	if !ok {
@@ -460,11 +480,15 @@ func (n *Node) handleAdopt(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	// The adopt request carries the authoritative session config; make
-	// sure the follower state promote() reads agrees with it even if no
-	// ship request ever populated it on this member.
+	// The adopt request carries the authoritative session config
+	// (leadership epoch included); make sure the follower state
+	// promote() reads agrees with it even if the ship requests that
+	// populated it are stale.
 	n.mu.Lock()
-	if _, ok := n.followers[id]; !ok {
+	if fs, ok := n.followers[id]; ok {
+		fs.cfg = req.Config
+		fs.primary = req.From
+	} else {
 		n.followers[id] = &followerState{cfg: req.Config, primary: req.From}
 	}
 	n.mu.Unlock()
@@ -489,11 +513,19 @@ func (n *Node) handleAdopt(w http.ResponseWriter, r *http.Request) {
 // decommission use to learn where a session's data lives.
 func (n *Node) handleHolds(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	_, hasSession := n.mgr.Get(id)
+	s, hasSession := n.mgr.Get(id)
 	rep, hasReplica := n.mgr.GetReplica(id)
 	out := map[string]interface{}{"session": hasSession, "replica": hasReplica}
 	if hasReplica {
 		out["seq"] = rep.Seq()
+	}
+	if hasSession {
+		// Leaders answer with their applied seq and leadership epoch —
+		// the inputs of the dual-primary resolution rule.
+		out["seq"] = s.View().Seq()
+	}
+	if ps, leads := n.localPrimary(id); leads {
+		out["epoch"] = ps.cfg.Epoch
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -550,6 +582,17 @@ func (n *Node) routeV1(v1 http.Handler) http.Handler {
 			return
 		}
 		if s, ok := n.mgr.Get(id); ok {
+			if r.Method != http.MethodGet && n.cfg.RequireQuorum && !n.ms.Quorum() {
+				// Split-brain write gate: a primary that can no longer
+				// see a majority of the cluster is the minority side of a
+				// partition. The majority side will promote a replacement
+				// and accept writes; anything acked HERE from now on
+				// would be wiped when the healed partition's epoch rule
+				// runs. Refuse retryably instead — the client's retry
+				// lands on the majority via routing.
+				retryErr(w, fmt.Errorf("cluster: %s sees no membership quorum; writes refused to prevent split-brain", n.cfg.ID))
+				return
+			}
 			if minSeq, budget := readWait(r); minSeq > 0 {
 				if !waitSeq(func() int { return s.View().Seq() }, minSeq, budget) {
 					retryErr(w, fmt.Errorf("cluster: min_seq %d not applied (at %d) within wait budget", minSeq, s.View().Seq()))

@@ -141,6 +141,24 @@ func (ms *Membership) Alive() []Member {
 	return alive
 }
 
+// Quorum reports whether this member currently sees a strict majority
+// of the cluster's KNOWN members (dead rows included in the total) as
+// live. It is the split-brain gate: a member inside a minority
+// partition refuses client writes and unilateral promotions, so when
+// the partition heals at most one side has advanced the session. A
+// single-member table trivially has quorum.
+func (ms *Membership) Quorum() bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	alive := 1 // self
+	for _, st := range ms.peers {
+		if ms.rounds-st.lastAdvance <= ms.failAfter {
+			alive++
+		}
+	}
+	return 2*alive > 1+len(ms.peers)
+}
+
 // IsAlive reports whether id is currently considered live.
 func (ms *Membership) IsAlive(id MemberID) bool {
 	ms.mu.Lock()
@@ -176,6 +194,23 @@ func (ms *Membership) Tick(exchange func(addr string, table []Member) ([]Member,
 	}
 	if len(candidates) > ms.fanout {
 		candidates = candidates[:ms.fanout]
+	}
+	// Probe one DEAD peer per tick too, chosen deterministically. A
+	// member wrongly declared dead — a healed partition, where the
+	// process never restarted and so no fresh incarnation will ever
+	// announce it — can only resurrect if somebody talks to it again;
+	// live-only gossip would make a bidirectional cut longer than
+	// failAfter permanent on both sides. Probing a crashed peer just
+	// fails fast and contributes nothing.
+	var dead []Member
+	for _, st := range ms.peers {
+		if ms.rounds-st.lastAdvance > ms.failAfter {
+			dead = append(dead, st.m)
+		}
+	}
+	if len(dead) > 0 {
+		sort.Slice(dead, func(i, j int) bool { return dead[i].ID < dead[j].ID })
+		candidates = append(candidates, dead[ms.rng.Intn(len(dead))])
 	}
 	table := ms.tableLocked()
 	ms.mu.Unlock()

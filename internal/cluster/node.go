@@ -69,6 +69,22 @@ type Config struct {
 	// Registry and served at GET /slo; objectives marked Critical
 	// degrade Health while breached. nil serves empty verdicts.
 	SLO *obs.SLO
+	// Transport, when set, is the base RoundTripper for every outbound
+	// HTTP client the member runs — gossip and ship traffic, the adopt
+	// RPC, and metric/trace scrapes alike. It is the seam the chaos
+	// fault injector (internal/chaos) threads through to cut, delay, or
+	// black-hole individual links. nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// RequireQuorum picks the partition policy. When true the member is
+	// CP: it refuses client writes, session creation, and unilateral
+	// failover promotion while it cannot see a strict majority of the
+	// known cluster, so a network partition can never produce two
+	// accepting leaders. When false (the default) the member is AP in
+	// the seed's last-survivor spirit: any owner may promote when the
+	// leader looks dead — even a lone survivor — and a healed partition
+	// relies on the leadership-epoch rule to pick one winner, discarding
+	// whatever the losing side acked meanwhile.
+	RequireQuorum bool
 }
 
 func (c Config) withDefaults() Config {
@@ -172,9 +188,9 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:          cfg,
 		ms:           NewMembership(cfg.ID, cfg.FailAfter, cfg.Fanout, cfg.Seed),
 		mgr:          serve.NewManager(cfg.Dir),
-		client:       &http.Client{Timeout: 10 * time.Second},
-		adoptClient:  &http.Client{Timeout: 5 * time.Minute},
-		scrapeClient: &http.Client{Timeout: fleetScrapeTimeout},
+		client:       &http.Client{Timeout: 10 * time.Second, Transport: cfg.Transport},
+		adoptClient:  &http.Client{Timeout: 5 * time.Minute, Transport: cfg.Transport},
+		scrapeClient: &http.Client{Timeout: fleetScrapeTimeout, Transport: cfg.Transport},
 		obs:          newNodeObs(cfg.Registry, cfg.Trace, log),
 		primaries:    make(map[string]*primaryState),
 		followers:    make(map[string]*followerState),
@@ -432,6 +448,9 @@ func (n *Node) Recover() error {
 // caller (the HTTP create handler, or a test) must have established via
 // placement that this member is the session's rendezvous primary.
 func (n *Node) CreateSession(id string, cfg SessionConfig) (*serve.Session, error) {
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1 // first leadership generation; clients never set it
+	}
 	s, err := n.mgr.Create(id, cfg.serveConfig())
 	if err != nil {
 		return nil, err
@@ -536,10 +555,93 @@ func (n *Node) ShipSession(id string) error {
 	rpprof.Do(context.Background(), rpprof.Labels("session", id, "role", "shipper"), func(context.Context) {
 		err = n.shipRounds(id, fd, shs)
 	})
+	var lc *leaderConflict
+	if errors.As(err, &lc) {
+		return n.resolveLeaderConflict(id, lc)
+	}
 	if cerr := n.maybeCompact(id, ps, fd, shs); cerr != nil && err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// leaderConflict reports that a ship request was refused by a peer that
+// itself claims to LEAD the session — the dual-primary state a healed
+// partition leaves behind. resolveLeaderConflict settles it.
+type leaderConflict struct {
+	session string
+	peer    MemberID
+	addr    string
+}
+
+func (e *leaderConflict) Error() string {
+	return fmt.Sprintf("cluster: %s also leads %q", e.peer, e.session)
+}
+
+// resolveLeaderConflict settles a dual-primary conflict
+// deterministically: the lower epoch (the leadership generation
+// superseded by a quorum-side promotion) yields; ties — possible only
+// through pathological histories — break by seq, then rendezvous score,
+// so both sides compute the SAME winner from the same probes. The loser
+// wipes its copy (its unshipped tail was already forfeited by the
+// failover that bumped the epoch) and rebuilds from the winner via the
+// normal snapshot catch-up on the winner's next ship round. If this
+// member wins, it keeps leading and does nothing — the peer runs the
+// same comparison from its side and yields.
+func (n *Node) resolveLeaderConflict(id string, lc *leaderConflict) error {
+	ps, ok := n.localPrimary(id)
+	if !ok {
+		return nil // already resolved (yielded or demoted) meanwhile
+	}
+	h, err := n.holds(lc.addr, id)
+	if err != nil || !h.Session {
+		return nil // peer unreachable or no longer leading; retry later
+	}
+	mySeq := 0
+	if s, ok := n.mgr.Get(id); ok {
+		mySeq = s.View().Seq()
+	}
+	myEpoch := ps.cfg.Epoch
+	peerWins := h.Epoch > myEpoch ||
+		(h.Epoch == myEpoch && (h.Seq > mySeq ||
+			(h.Seq == mySeq && rendezvousScore(lc.peer, id) > rendezvousScore(n.cfg.ID, id))))
+	if !peerWins {
+		n.obs.log.Warn("leadership conflict: peer holds a superseded epoch; keeping leadership",
+			"component", "cluster", "member", string(n.cfg.ID), "session", id,
+			"peer", string(lc.peer), "epoch", fmt.Sprint(myEpoch), "peer_epoch", fmt.Sprint(h.Epoch))
+		return nil
+	}
+	return n.yieldLeadership(id, lc.peer)
+}
+
+// yieldLeadership steps a led session down after losing a leadership
+// conflict: close it, wipe its WAL and sidecar — the local history may
+// have forked from the winner's, so no byte of it may survive into the
+// replica — and let the winner's next ship round rebuild this member
+// as a follower by snapshot catch-up.
+func (n *Node) yieldLeadership(id string, winner MemberID) error {
+	n.mu.Lock()
+	if _, ok := n.primaries[id]; !ok {
+		n.mu.Unlock()
+		return nil
+	}
+	delete(n.primaries, id)
+	n.mu.Unlock()
+	if _, live := n.mgr.Get(id); live {
+		if err := n.mgr.Close(id); err != nil {
+			return err
+		}
+	}
+	if dir := n.walDir(id); dir != "" {
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
+	}
+	os.Remove(n.cfgPath(id))
+	n.obs.leaderYields.Inc()
+	n.obs.log.Warn("leadership yielded after conflict", "component", "cluster",
+		"member", string(n.cfg.ID), "session", id, "to", string(winner))
+	return nil
 }
 
 // shipRounds drives pull → batch → ack rounds over one session's
@@ -618,6 +720,12 @@ func (n *Node) shipOne(fd *walFeed, sh *shipper) (advanced bool, err error) {
 		if err := n.postShip(addr, "/cluster/ship/"+sh.session, batch.body, &resp); err != nil {
 			var he *httpError
 			if errors.As(err, &he) {
+				if he.status == http.StatusConflict {
+					// The peer claims to LEAD this session — two leaders
+					// exist (a healed partition). Hand the typed conflict
+					// up; ShipSession resolves it by epoch comparison.
+					return advanced, &leaderConflict{session: sh.session, peer: sh.follower, addr: addr}
+				}
 				// The follower is reachable and refusing (poisoned
 				// replica, stale epoch): surface it — silence here would
 				// hide a permanently dead replication link.
@@ -906,6 +1014,14 @@ func (n *Node) Reconcile() error {
 			// would fork the session.
 			continue
 		}
+		if n.cfg.RequireQuorum && !n.ms.Quorum() {
+			// The leader looks dead, but so does a majority of the
+			// cluster: this member is the one inside a partition.
+			// Promoting here would put a second leader on the minority
+			// side — exactly the fork the epoch rule would then have to
+			// kill. The majority side promotes; we wait for heal.
+			continue
+		}
 		// The leader is dead and we are an owner holding a replica.
 		// Promote unless some other live owner already serves the
 		// session, or holds strictly fresher data, or holds equally
@@ -923,8 +1039,8 @@ func (n *Node) Reconcile() error {
 			if m.ID == n.cfg.ID {
 				continue
 			}
-			hasSession, hasReplica, seq := n.holds(m.Addr, id)
-			if hasSession || (hasReplica && (seq > mySeq || (seq == mySeq && i < rank))) {
+			h, _ := n.holds(m.Addr, id)
+			if h.Session || (h.Replica && (h.Seq > mySeq || (h.Seq == mySeq && i < rank))) {
 				eligible = false
 				break
 			}
@@ -939,29 +1055,36 @@ func (n *Node) Reconcile() error {
 	return first
 }
 
+// holdsInfo is a peer's answer to /cluster/holds: whether it serves or
+// replicates the session, at what sequence, and — when it leads — at
+// what leadership epoch.
+type holdsInfo struct {
+	Session bool `json:"session"`
+	Replica bool `json:"replica"`
+	Seq     int  `json:"seq"`
+	Epoch   int  `json:"epoch"`
+}
+
 // holds asks a peer whether it currently serves or replicates a
-// session, and at what replica offset (unreachable peers count as
-// holding nothing — in the crash-stop failure model an unreachable
-// member is a dead one).
-func (n *Node) holds(addr, id string) (session, replica bool, seq int) {
+// session, and at what replica offset and epoch (unreachable peers
+// count as holding nothing — in the crash-stop failure model an
+// unreachable member is a dead one; the error lets callers that need
+// to distinguish do so).
+func (n *Node) holds(addr, id string) (holdsInfo, error) {
 	resp, err := n.client.Get("http://" + addr + "/cluster/holds/" + id)
 	if err != nil {
-		return false, false, 0
+		return holdsInfo{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return false, false, 0
+		return holdsInfo{}, fmt.Errorf("cluster: holds probe of %s: %s", addr, resp.Status)
 	}
-	var out struct {
-		Session bool `json:"session"`
-		Replica bool `json:"replica"`
-		Seq     int  `json:"seq"`
-	}
+	var out holdsInfo
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return false, false, 0
+		return holdsInfo{}, err
 	}
-	return out.Session, out.Replica, out.Seq
+	return out, nil
 }
 
 // handoff moves a led session to its new rendezvous primary. Ordering
@@ -1008,6 +1131,20 @@ func (n *Node) handoff(id string, newPrimary Member) error {
 
 	// Ship the closed log to completion through the shared feed.
 	if err := n.shipRounds(id, fd, []*shipper{sh}); err != nil {
+		var lc *leaderConflict
+		if errors.As(err, &lc) {
+			// The adoptee ALREADY leads (a healed partition, and the
+			// rendezvous points back at a member that promoted while we
+			// were cut off). Settle by epoch like any dual-primary: if
+			// we lose, yield instead of reopening — reopening would keep
+			// the fork alive.
+			if rerr := n.resolveLeaderConflict(id, lc); rerr != nil {
+				return rerr
+			}
+			if _, stillLeads := n.localPrimary(id); !stillLeads {
+				return nil // yielded; the winner ships us a fresh copy
+			}
+		}
 		return resume(err)
 	}
 	sh.mu.Lock()
@@ -1070,8 +1207,8 @@ func (n *Node) demote(id string, cfg SessionConfig, primary MemberID) error {
 // which a follower also answers 200 on (follower-served reads), so a
 // 200 there no longer distinguishes a leader from a warm replica.
 func (n *Node) hostsSession(addr, id string) bool {
-	leads, _, _ := n.holds(addr, id)
-	return leads
+	h, _ := n.holds(addr, id)
+	return h.Session
 }
 
 // promote turns a followed session into a led one through the existing
@@ -1091,11 +1228,22 @@ func (n *Node) promote(id string) error {
 	if err != nil {
 		return err
 	}
+	// A promotion is a new leadership generation: bump the epoch before
+	// shipping a single record, so any superseded leader that resurfaces
+	// (a healed partition) loses the deterministic epoch comparison and
+	// yields. Persist it — a restarted process must not fall back behind
+	// a generation it already claimed.
+	cfg := fs.cfg
+	cfg.Epoch++
+	perr := n.persistSessionConfig(id, cfg)
 	n.mu.Lock()
 	delete(n.followers, id)
-	n.primaries[id] = newPrimaryState(fs.cfg, n.cfg.ShipBacklog)
+	n.primaries[id] = newPrimaryState(cfg, n.cfg.ShipBacklog)
 	n.mu.Unlock()
 	n.syncShippers(id)
+	if perr != nil {
+		return perr
+	}
 	n.obs.failoverLat.ObserveSince(t0)
 	n.obs.log.Info("session promoted", "component", "cluster", "member", string(n.cfg.ID), "session", id, "seq", fmt.Sprint(s.View().Seq()))
 	return nil

@@ -17,6 +17,8 @@ type nodeObs struct {
 	memberFails  *obs.Counter // cluster_member_fail_total
 	memberJoins  *obs.Counter // cluster_member_join_total
 
+	leaderYields *obs.Counter // cluster_leader_yield_total
+
 	failoverLat     *obs.Histogram // cluster_failover_seconds
 	handoffLat      *obs.Histogram // cluster_handoff_seconds
 	barrierPrimary  *obs.Histogram // cluster_barrier_compact_seconds{role="primary"}
@@ -33,6 +35,7 @@ func newNodeObs(reg *obs.Registry, hub *obs.TraceHub, log *obs.Logger) nodeObs {
 	no.membersAlive = reg.Gauge("cluster_members_alive", "members currently considered live (self included)")
 	no.memberFails = reg.Counter("cluster_member_fail_total", "peers transitioned live to dead by the failure detector")
 	no.memberJoins = reg.Counter("cluster_member_join_total", "peers transitioned dead (or unknown) to live")
+	no.leaderYields = reg.Counter("cluster_leader_yield_total", "led sessions yielded after a leadership conflict (a healed partition's lower epoch steps down and rebuilds from the winner)")
 	no.failoverLat = reg.Histogram("cluster_failover_seconds", "time to promote a replica to primary (crash-recovery replay included)", nil)
 	no.handoffLat = reg.Histogram("cluster_handoff_seconds", "time to hand a led session to its new rendezvous primary (freeze, final ship, adopt, demote)", nil)
 	no.barrierPrimary = reg.Histogram("cluster_barrier_compact_seconds", "barrier-to-compaction latency", obs.DefLatencyBuckets, "role", "primary")

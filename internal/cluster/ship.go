@@ -36,6 +36,15 @@ type SessionConfig struct {
 	// sessions only — sharded sessions recover by full-log replay and
 	// never truncate.
 	CompactEvery int `json:"compact_every,omitempty"`
+	// Epoch counts the session's leadership generations: 1 at creation,
+	// +1 on every promotion (unilateral failover or handoff adoption).
+	// It travels with every ship and adopt request and is persisted in
+	// the sidecar, so after a partition heals, two members both claiming
+	// to lead can resolve deterministically: the LOWER epoch — the
+	// leadership superseded by a legitimate (quorum-side) promotion —
+	// yields, wipes its copy, and rebuilds from the winner. Clients never
+	// set it.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // sharded mirrors serve.Config's backend selection rule.

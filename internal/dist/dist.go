@@ -48,6 +48,7 @@ type message struct {
 	Kind     string
 	handler  func()
 	drops    int
+	defers   int
 	seq      int
 }
 
@@ -63,6 +64,7 @@ type Engine struct {
 	Dropped    int
 	Duplicated int
 	Deduped    int
+	Reordered  int
 	nextSeq    int
 	dropRng    *xrand.RNG
 	dropProb   float64
@@ -70,6 +72,9 @@ type Engine struct {
 	dupRng     *xrand.RNG
 	dupProb    float64
 	maxDups    int
+	reordRng   *xrand.RNG
+	reordProb  float64
+	maxDefers  int
 	seen       map[int]struct{}
 }
 
@@ -110,6 +115,23 @@ func (e *Engine) Duplicate(seed uint64, p float64, maxDups int) {
 	}
 }
 
+// Reorder switches delivery to an out-of-order link: when a message
+// reaches the head of the queue it is, with probability p
+// (deterministically from seed), deferred — reinserted at a random
+// later queue position — instead of delivered. Deferral breaks FIFO
+// outright (not merely via retransmission, as Unreliable does), which
+// is the delivery model the paper's convergence arguments must survive:
+// the protocols' reply-counting state machines gather a fixed set of
+// inputs and never depend on arrival order. A message is deferred at
+// most maxDefers times before the link delivers it, so eventual
+// delivery still holds. Deferred attempts are counted in Reordered.
+// Compose with Unreliable and Duplicate for the full chaos link.
+func (e *Engine) Reorder(seed uint64, p float64, maxDefers int) {
+	e.reordRng = xrand.New(seed)
+	e.reordProb = p
+	e.maxDefers = maxDefers
+}
+
 // send enqueues a message for later delivery, stamping its sequence
 // number.
 func (e *Engine) send(m message) {
@@ -140,6 +162,18 @@ func (e *Engine) Run(limit int) error {
 			e.Dropped++
 			m.drops++
 			e.resend(m)
+			continue
+		}
+		if e.reordRng != nil && m.defers < e.maxDefers && len(e.queue) > 0 && e.reordRng.Float64() < e.reordProb {
+			// Overtaken in flight: the message slips behind at least one
+			// later message (uniform random position in the rest of the
+			// queue), bounded per message so delivery stays eventual.
+			e.Reordered++
+			m.defers++
+			at := 1 + e.reordRng.Intn(len(e.queue))
+			e.queue = append(e.queue, message{})
+			copy(e.queue[at+1:], e.queue[at:])
+			e.queue[at] = m
 			continue
 		}
 		if e.seen != nil {

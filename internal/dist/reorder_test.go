@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/toca"
+	"repro/internal/xrand"
+)
+
+// TestReorderParity: with 30% seeded message reordering — and nothing
+// else — random mixed scripts over all four event kinds (move, power,
+// join, leave) still reach exact sequential parity for both protocols.
+// The protocols serialize one reconfiguration at a time, so delivery
+// order within a round must not change the outcome; this pins that
+// claim under an adversarial queue.
+func TestReorderParity(t *testing.T) {
+	rng := xrand.New(29)
+	sawReorder := false
+	for it := 0; it < 10; it++ {
+		n := 8 + rng.Intn(18)
+		base := buildBase(rng, n, 100)
+		script := mixedScript(rng, n, 25, 100)
+		for _, proto := range []string{"minim", "cp"} {
+			want := seqReference(t, proto, base, script)
+			var eng *Engine
+			rt := runDistributed(t, proto, base, script, func(e *Engine) {
+				e.Reorder(rng.Uint64(), 0.3, 8)
+				eng = e
+			})
+			got := rt.Assignment()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("it %d proto %s under reorder: dist %v, seq %v (reordered %d)",
+					it, proto, got, want, eng.Reordered)
+			}
+			if !toca.Valid(rt.Net.Graph(), got) {
+				t.Fatalf("it %d proto %s under reorder: invalid assignment", it, proto)
+			}
+			sawReorder = sawReorder || eng.Reordered > 0
+		}
+	}
+	if !sawReorder {
+		t.Fatal("reorder injection inert: no message was ever deferred")
+	}
+}
+
+// TestReorderComposedFaultParity: loss, duplication, and reordering
+// composed at 20% each — the full chaos triple — still converge to the
+// sequential reference on mixed scripts, and every fault kind
+// demonstrably fired.
+func TestReorderComposedFaultParity(t *testing.T) {
+	rng := xrand.New(31)
+	sawDrop, sawDup, sawReorder := false, false, false
+	for it := 0; it < 8; it++ {
+		n := 8 + rng.Intn(16)
+		base := buildBase(rng, n, 100)
+		script := mixedScript(rng, n, 20, 100)
+		for _, proto := range []string{"minim", "cp"} {
+			want := seqReference(t, proto, base, script)
+			var eng *Engine
+			rt := runDistributed(t, proto, base, script, func(e *Engine) {
+				e.Unreliable(rng.Uint64(), 0.2, 6)
+				e.Duplicate(rng.Uint64(), 0.2, 3)
+				e.Reorder(rng.Uint64(), 0.2, 8)
+				eng = e
+			})
+			got := rt.Assignment()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("it %d proto %s under composed faults: dist %v, seq %v (dropped %d, duplicated %d, reordered %d)",
+					it, proto, got, want, eng.Dropped, eng.Duplicated, eng.Reordered)
+			}
+			if !toca.Valid(rt.Net.Graph(), got) {
+				t.Fatalf("it %d proto %s under composed faults: invalid assignment", it, proto)
+			}
+			sawDrop = sawDrop || eng.Dropped > 0
+			sawDup = sawDup || eng.Duplicated > 0
+			sawReorder = sawReorder || eng.Reordered > 0
+		}
+	}
+	if !sawDrop || !sawDup || !sawReorder {
+		t.Fatalf("composed fault injection inert: drops=%v dups=%v reorders=%v", sawDrop, sawDup, sawReorder)
+	}
+}
+
+// TestReorderDeterministic: the same seed reorders the same messages —
+// two runs of an identical script with identical knobs produce
+// identical assignments AND identical fault counters, the property the
+// chaos matrix's replay oracle rests on.
+func TestReorderDeterministic(t *testing.T) {
+	rng := xrand.New(37)
+	base := buildBase(rng, 14, 100)
+	script := mixedScript(rng, 14, 25, 100)
+	run := func() (toca.Assignment, int, int, int) {
+		var eng *Engine
+		rt := runDistributed(t, "cp", base, script, func(e *Engine) {
+			e.Unreliable(401, 0.2, 6)
+			e.Duplicate(402, 0.2, 3)
+			e.Reorder(403, 0.3, 8)
+			eng = e
+		})
+		return rt.Assignment(), eng.Dropped, eng.Duplicated, eng.Reordered
+	}
+	a1, d1, u1, r1 := run()
+	a2, d2, u2, r2 := run()
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("same seed, different assignments: %v vs %v", a1, a2)
+	}
+	if d1 != d2 || u1 != u2 || r1 != r2 {
+		t.Fatalf("same seed, different fault counters: (%d,%d,%d) vs (%d,%d,%d)", d1, u1, r1, d2, u2, r2)
+	}
+	if r1 == 0 {
+		t.Fatal("deterministic run never reordered")
+	}
+}
